@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (scaled
+where noted to keep runtimes reasonable), prints the same rows/series the
+paper reports, and asserts the *shape* claims - who wins, roughly by what
+factor, where the knees fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""§4.3.2 bench: orchestrator control-plane scaling.
+
+Paper result: 5,370 ad-hoc AGWs run against a single six-VM orchestrator
+cluster (~$4,000/month) - central load grows slowly with gateway count
+because runtime state stays in the AGWs.
+"""
+
+import pytest
+
+from repro.experiments import run_scaling
+from repro.experiments.scaling import FREEDOMFI_AGWS
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_orchestrator_scaling_sweep(benchmark):
+    result = run_once(benchmark, run_scaling,
+                      (50, 200, 800, 2000, FREEDOMFI_AGWS), 60.0, 150.0)
+    print()
+    print(result.render())
+
+    by_n = {p.num_agws: p for p in result.points}
+    # Every size: all check-ins served, all gateways converged on config.
+    for point in result.points:
+        assert point.checkin_success_fraction >= 0.99
+        assert point.convergence_fraction >= 0.99
+    # The FreedomFi-scale point runs at a small fraction of the cluster.
+    assert by_n[FREEDOMFI_AGWS].orchestrator_cpu_util < 0.25
+    # Load grows sublinearly in utilization terms: 100x the gateways costs
+    # far less than 100x the (already tiny) CPU share.
+    small = max(by_n[50].orchestrator_cpu_util, 1e-3)
+    assert by_n[FREEDOMFI_AGWS].orchestrator_cpu_util < small * 30

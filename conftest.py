@@ -1,0 +1,10 @@
+"""Ensure the src layout is importable even without an editable install
+(this sandbox has no network, so `pip install -e .` cannot fetch the
+`wheel` build dependency)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+# Make the shared test helpers importable from test modules.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "tests"))

@@ -1,0 +1,18 @@
+"""repro: reproduction of "Building Flexible, Low-Cost Wireless Access
+Networks With Magma" (NSDI 2023).
+
+Subpackages:
+
+- ``repro.sim`` - discrete-event kernel, CPU model, monitors, RNG.
+- ``repro.net`` - simulated network, transports, RPC, backhaul profiles.
+- ``repro.dataplane`` - OVS-like programmable software data plane.
+- ``repro.lte`` / ``repro.fiveg`` / ``repro.wifi`` - radio access substrates.
+- ``repro.core`` - the Magma contribution: AGW, orchestrator, federation,
+  policy/charging.
+- ``repro.baseline`` - traditional monolithic EPC for comparison.
+- ``repro.workloads`` - attach storms, HTTP/IoT traffic, diurnal usage.
+- ``repro.costmodel`` - CapEx/OpEx models behind Tables 2-3.
+- ``repro.experiments`` - one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,17 @@
+"""Baseline architectures Magma is compared against."""
+
+from .crud_sync import (
+    CrudReplica,
+    CrudSynchronizer,
+    DesiredStateSynchronizer,
+)
+from .epc import EpcConfig, EpcUeContext, MonolithicEpc
+
+__all__ = [
+    "CrudReplica",
+    "CrudSynchronizer",
+    "DesiredStateSynchronizer",
+    "EpcConfig",
+    "EpcUeContext",
+    "MonolithicEpc",
+]

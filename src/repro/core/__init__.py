@@ -1,0 +1,1 @@
+"""Magma core: access gateways, orchestrator, federation, policy."""

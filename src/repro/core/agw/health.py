@@ -1,0 +1,76 @@
+"""AGW health service: local service checks feeding telemetry northbound.
+
+Table 1 lists telemetry as a Magma responsibility with no 3GPP
+equivalent.  The health service aggregates what an operator needs to see
+for a gateway without logging into it (§3.1): per-service liveness, RAN
+device staleness, resource pressure, and session-plane sanity - shipped to
+the orchestrator with each check-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class HealthCheck:
+    name: str
+    healthy: bool
+    detail: str = ""
+
+
+class HealthService:
+    """Evaluates gateway-local health checks on demand."""
+
+    def __init__(self, gateway: "AccessGateway",
+                 enb_stale_after: float = 300.0,
+                 cp_backlog_warn: float = 30.0,
+                 ip_pool_warn_fraction: float = 0.9):
+        self.gateway = gateway
+        self.enb_stale_after = enb_stale_after
+        self.cp_backlog_warn = cp_backlog_warn
+        self.ip_pool_warn_fraction = ip_pool_warn_fraction
+
+    def evaluate(self) -> List[HealthCheck]:
+        gateway = self.gateway
+        checks: List[HealthCheck] = []
+        checks.append(HealthCheck(
+            name="process", healthy=not gateway.crashed,
+            detail="crashed" if gateway.crashed else "running"))
+        stale = gateway.enodebd.stale_devices(self.enb_stale_after)
+        checks.append(HealthCheck(
+            name="ran-devices", healthy=not stale,
+            detail=f"stale: {stale}" if stale else
+            f"{gateway.enodebd.count()} device(s) healthy"))
+        backlog = gateway.context.cpu.queued_work("cp")
+        checks.append(HealthCheck(
+            name="control-plane-backlog",
+            healthy=backlog < self.cp_backlog_warn,
+            detail=f"{backlog:.1f} core-seconds queued"))
+        sessions = gateway.sessiond.session_count()
+        installed = gateway.pipelined.session_count()
+        checks.append(HealthCheck(
+            name="session-dataplane-consistency",
+            healthy=sessions == installed,
+            detail=f"{sessions} sessions / {installed} installed"))
+        rejected = gateway.mme.stats["attach_rejected"]
+        accepted = gateway.mme.stats["attach_accepted"]
+        total = rejected + accepted
+        reject_fraction = rejected / total if total else 0.0
+        checks.append(HealthCheck(
+            name="attach-rejects",
+            healthy=reject_fraction < 0.5 or total < 10,
+            detail=f"{rejected}/{total} rejected"))
+        return checks
+
+    def is_healthy(self) -> bool:
+        return all(check.healthy for check in self.evaluate())
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact form shipped with magmad check-ins."""
+        checks = self.evaluate()
+        return {
+            "healthy": all(c.healthy for c in checks),
+            "failing": [c.name for c in checks if not c.healthy],
+        }

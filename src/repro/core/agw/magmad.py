@@ -1,0 +1,141 @@
+"""magmad: the AGW supervisor.
+
+Three responsibilities, straight from §3.2-3.4 of the paper:
+
+- **Checkpointing**: runtime (session) state is checkpointed regularly so a
+  crashed AGW - or its cloud backup instance - can restore service for the
+  affected UEs (§3.3).
+- **Check-in / state sync**: the AGW periodically checks in with the
+  orchestrator, reporting status and metrics and pulling the full *desired*
+  configuration when its version is stale (§3.4's desired-state model - a
+  single successful sync converges the replica no matter what was missed).
+- **Headless operation**: when the orchestrator is unreachable, check-ins
+  fail and are counted, but nothing else stops - attaches keep succeeding
+  from cached subscriber state (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ...net.rpc import RpcChannel, RpcError
+from .context import AgwContext
+
+
+class CheckpointStore:
+    """Durable storage for AGW runtime-state snapshots.
+
+    Stands in for the AGW's local disk and/or the cloud backup replica the
+    paper describes; it survives AGW crashes by construction.
+    """
+
+    def __init__(self):
+        self._snapshots: Dict[str, Dict[str, Any]] = {}
+        self.stats = {"saves": 0, "loads": 0}
+
+    def save(self, node: str, snapshot: Dict[str, Any]) -> None:
+        self._snapshots[node] = snapshot
+        self.stats["saves"] += 1
+
+    def load(self, node: str) -> Optional[Dict[str, Any]]:
+        self.stats["loads"] += 1
+        return self._snapshots.get(node)
+
+
+class Magmad:
+    """Supervisor loops for one AGW."""
+
+    def __init__(self, context: AgwContext, gateway: "AccessGateway",
+                 checkpoint_store: Optional[CheckpointStore] = None,
+                 orchestrator_node: Optional[str] = None):
+        self.context = context
+        self.gateway = gateway
+        self.checkpoint_store = checkpoint_store
+        self.orchestrator_node = orchestrator_node
+        self._orc_channel: Optional[RpcChannel] = None
+        if orchestrator_node is not None:
+            self._orc_channel = RpcChannel(context.sim, context.network,
+                                           context.node, orchestrator_node)
+        self.config_version = 0
+        self.running = False
+        self.stats = {"checkpoints": 0, "checkins_ok": 0,
+                      "checkins_failed": 0, "configs_applied": 0}
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        sim = self.context.sim
+        if self.checkpoint_store is not None:
+            sim.spawn(self._checkpoint_loop(), name=f"ckpt:{self.context.node}")
+        if self._orc_channel is not None:
+            sim.spawn(self._checkin_loop(), name=f"checkin:{self.context.node}")
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def checkpoint_now(self) -> Dict[str, Any]:
+        snapshot = {
+            "time": self.context.sim.now,
+            "sessions": self.gateway.sessiond.checkpoint(),
+            "config_version": self.config_version,
+        }
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(self.context.node, snapshot)
+        self.stats["checkpoints"] += 1
+        return snapshot
+
+    def _checkpoint_loop(self):
+        interval = self.context.config.checkpoint_interval
+        while self.running:
+            yield self.context.sim.timeout(interval)
+            if not self.running:
+                return
+            self.checkpoint_now()
+
+    # -- check-in / config sync --------------------------------------------------------
+
+    def checkin_once(self):
+        """Generator: one check-in exchange with the orchestrator."""
+        request = {
+            "gateway_id": self.context.node,
+            "network_id": self.context.config.network_id,
+            "config_version": self.config_version,
+            "status": self.gateway.status_summary(),
+            "metrics": self.gateway.metrics_summary(),
+        }
+        try:
+            response = yield self._orc_channel.call(
+                "statesync", "checkin", request,
+                deadline=self.context.config.rpc_deadline)
+        except RpcError:
+            self.stats["checkins_failed"] += 1
+            return False
+        self.stats["checkins_ok"] += 1
+        if response.get("config") is not None:
+            self.apply_config(response["config"], response["config_version"])
+        return True
+
+    def _checkin_loop(self):
+        interval = self.context.config.checkin_interval
+        while self.running:
+            yield self.context.sim.timeout(interval)
+            if not self.running:
+                return
+            yield from self.checkin_once()
+
+    def apply_config(self, bundle: Dict[str, Any], version: int) -> None:
+        """Apply a full desired-state configuration bundle."""
+        subscribers = bundle.get("subscribers")
+        if subscribers is not None:
+            self.gateway.subscriberdb.apply_desired_state(subscribers, version)
+        policies = bundle.get("policies")
+        if policies is not None:
+            self.gateway.policydb.apply_desired_state(policies, version)
+        ran_config = bundle.get("ran")
+        if ran_config is not None:
+            self.gateway.enodebd.apply_desired_config(ran_config, version)
+        self.config_version = version
+        self.stats["configs_applied"] += 1

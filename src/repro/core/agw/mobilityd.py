@@ -1,0 +1,68 @@
+"""mobilityd: UE IP address management (and intra-AGW mobility anchor).
+
+Each AGW owns an IP block (configuration state from the orchestrator) and
+assigns addresses to sessions.  Assignments are sticky per IMSI while held,
+which is what makes mobility between radios *behind the same AGW* seamless:
+the UE keeps its IP and its data-plane rules, only the RAN-side tunnel
+endpoint changes (§3.2 - inter-AGW mobility is explicitly out of scope).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, List, Optional
+
+
+class IpPoolExhausted(Exception):
+    """No free addresses remain in the AGW's block."""
+
+
+class Mobilityd:
+    """IP allocation from a configured block."""
+
+    def __init__(self, ip_block: str = "10.128.0.0/16"):
+        network = ipaddress.ip_network(ip_block)
+        self.ip_block = ip_block
+        # Skip network/broadcast-ish addresses; hosts() handles it.
+        self._hosts = network.hosts()
+        self._free: List[str] = []
+        self._assigned: Dict[str, str] = {}   # imsi -> ip
+        self._reverse: Dict[str, str] = {}    # ip -> imsi
+
+    @property
+    def assigned_count(self) -> int:
+        return len(self._assigned)
+
+    def allocate(self, imsi: str) -> str:
+        """Assign (or re-return) an IP for ``imsi``."""
+        existing = self._assigned.get(imsi)
+        if existing is not None:
+            return existing
+        if self._free:
+            ip = self._free.pop()
+        else:
+            try:
+                ip = str(next(self._hosts))
+            except StopIteration:
+                raise IpPoolExhausted(f"block {self.ip_block} exhausted") from None
+        self._assigned[imsi] = ip
+        self._reverse[ip] = imsi
+        return ip
+
+    def release(self, imsi: str) -> Optional[str]:
+        ip = self._assigned.pop(imsi, None)
+        if ip is not None:
+            self._reverse.pop(ip, None)
+            self._free.append(ip)
+        return ip
+
+    def lookup_imsi(self, ip: str) -> Optional[str]:
+        return self._reverse.get(ip)
+
+    def lookup_ip(self, imsi: str) -> Optional[str]:
+        return self._assigned.get(imsi)
+
+    def restore(self, assignments: Dict[str, str]) -> None:
+        """Rebuild assignment state from a checkpoint (crash recovery)."""
+        self._assigned = dict(assignments)
+        self._reverse = {ip: imsi for imsi, ip in assignments.items()}

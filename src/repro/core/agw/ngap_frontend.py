@@ -1,0 +1,257 @@
+"""NGAP frontend: terminates the 5G control protocol at the AGW edge.
+
+The 5G column of Table 1: AMF -> access management, SMF/PCF -> session and
+policy management, UPF -> the same software data plane.  This frontend owns
+the 5G registration and PDU-session state machines but delegates every
+substantive step to the generic functions (``AccessManagement`` /
+``Sessiond``) shared with LTE and WiFi - demonstrating the paper's claim
+that adding 5G did not change the core (§3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ...fiveg import nas5g, ngap
+from ...net.rpc import RpcChannel, RpcError, RpcServer
+from .context import AgwContext
+from .enodebd import Enodebd
+from .mme import AccessManagement
+from .sessiond import SessionError, Sessiond
+
+UeRef5g = Tuple[str, int]  # (gnb_id, ran_ue_id)
+
+
+class Ngap5gState:
+    WAIT_AUTH = "wait-auth"
+    WAIT_SMC = "wait-smc"
+    WAIT_REG_COMPLETE = "wait-reg-complete"
+    REGISTERED = "registered"
+
+
+@dataclass
+class NgapUeContext:
+    amf_ue_id: int
+    imsi: str
+    ue_ref: UeRef5g
+    state: str = Ngap5gState.WAIT_AUTH
+    xres: bytes = b""
+
+
+class NgapFrontend:
+    """5G access frontend of one AGW."""
+
+    name = "ngap"
+
+    def __init__(self, context: AgwContext, server: RpcServer,
+                 mme: AccessManagement, sessiond: Sessiond,
+                 enodebd: Enodebd):
+        self.context = context
+        self.mme = mme
+        self.sessiond = sessiond
+        self.enodebd = enodebd
+        self._ue_ids = itertools.count(1)
+        self._by_amf_ue_id: Dict[int, NgapUeContext] = {}
+        self._by_imsi: Dict[str, NgapUeContext] = {}
+        self._channels: Dict[str, RpcChannel] = {}
+        self.stats = {"ng_setups": 0, "registrations": 0,
+                      "registration_rejects": 0, "pdu_sessions": 0,
+                      "pdu_rejects": 0, "deregistrations": 0}
+        server.register(ngap.NGAP_SERVICE, "setup", self._on_setup)
+        server.register(ngap.NGAP_SERVICE, "uplink", self._on_uplink)
+
+    # -- southbound handlers ------------------------------------------------------
+
+    def _on_setup(self, request: ngap.NgSetupRequest) -> ngap.NgSetupResponse:
+        self.stats["ng_setups"] += 1
+        self.enodebd.register(request.gnb_id, kind="gnb")
+        self._channel_for(request.gnb_id)
+        return ngap.NgSetupResponse(amf_name=self.context.node, accepted=True)
+
+    def _on_uplink(self, message: Any) -> Dict[str, bool]:
+        if isinstance(message, ngap.InitialUeMessage5g):
+            ue_ref: UeRef5g = (message.gnb_id, message.ran_ue_id)
+            if isinstance(message.nas, nas5g.RegistrationRequest):
+                self.context.sim.spawn(
+                    self._registration_stage1(ue_ref, message.nas),
+                    name=f"5g-reg:{message.nas.imsi}")
+            return {"accepted": True}
+        if isinstance(message, ngap.UplinkNasTransport5g):
+            ue_context = self._by_amf_ue_id.get(message.amf_ue_id)
+            if ue_context is None:
+                return {"accepted": False}
+            self._dispatch_nas(ue_context, message.nas)
+            return {"accepted": True}
+        return {"accepted": False}
+
+    def _dispatch_nas(self, ue_context: NgapUeContext, message: Any) -> None:
+        sim = self.context.sim
+        if isinstance(message, nas5g.AuthenticationResponse5g):
+            sim.spawn(self._registration_stage2(ue_context, message),
+                      name=f"5g-auth:{ue_context.imsi}")
+        elif isinstance(message, nas5g.SecurityModeComplete5g):
+            self._on_smc_complete(ue_context)
+        elif isinstance(message, nas5g.RegistrationComplete):
+            self._on_registration_complete(ue_context)
+        elif isinstance(message, nas5g.PduSessionEstablishmentRequest):
+            sim.spawn(self._pdu_session(ue_context, message),
+                      name=f"5g-pdu:{ue_context.imsi}")
+        elif isinstance(message, nas5g.PduSessionReleaseRequest):
+            self.sessiond.terminate_session(ue_context.imsi,
+                                            reason="pdu-release")
+            self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                                nas5g.PduSessionReleaseComplete(
+                                    imsi=ue_context.imsi,
+                                    pdu_session_id=message.pdu_session_id))
+        elif isinstance(message, nas5g.DeregistrationRequest):
+            self._on_deregistration(ue_context, message)
+
+    # -- registration ------------------------------------------------------------------
+
+    def _registration_stage1(self, ue_ref: UeRef5g,
+                             request: nas5g.RegistrationRequest):
+        imsi = request.imsi
+        vector = yield from self.mme.begin_authentication(imsi)
+        if vector is None:
+            self.stats["registration_rejects"] += 1
+            self._send_downlink(ue_ref, 0, nas5g.RegistrationReject(
+                imsi=imsi, cause="unknown subscriber"))
+            return
+        stale = self._by_imsi.pop(imsi, None)
+        if stale is not None:
+            self._by_amf_ue_id.pop(stale.amf_ue_id, None)
+        ue_context = NgapUeContext(amf_ue_id=next(self._ue_ids), imsi=imsi,
+                                   ue_ref=ue_ref, xres=vector.xres)
+        self._by_amf_ue_id[ue_context.amf_ue_id] = ue_context
+        self._by_imsi[imsi] = ue_context
+        self._send_downlink(ue_ref, ue_context.amf_ue_id,
+                            nas5g.AuthenticationRequest5g(
+                                imsi=imsi, rand=vector.rand,
+                                autn=vector.autn))
+
+    def _registration_stage2(self, ue_context: NgapUeContext,
+                             message: nas5g.AuthenticationResponse5g):
+        ok = yield from self.mme.verify_authentication(ue_context.xres,
+                                                       message.res_star)
+        if not ok:
+            self.stats["registration_rejects"] += 1
+            self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                                nas5g.RegistrationReject(
+                                    imsi=ue_context.imsi,
+                                    cause="authentication failure"))
+            self._drop(ue_context)
+            return
+        ue_context.state = Ngap5gState.WAIT_SMC
+        self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                            nas5g.SecurityModeCommand5g(imsi=ue_context.imsi))
+
+    def _on_smc_complete(self, ue_context: NgapUeContext) -> None:
+        ue_context.state = Ngap5gState.WAIT_REG_COMPLETE
+        guti = f"{self.context.node}-5g-guti-{ue_context.amf_ue_id}"
+        self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                            nas5g.RegistrationAccept(imsi=ue_context.imsi,
+                                                     guti_5g=guti))
+
+    def _on_registration_complete(self, ue_context: NgapUeContext) -> None:
+        ue_context.state = Ngap5gState.REGISTERED
+        self.stats["registrations"] += 1
+        if self.mme.directoryd is not None:
+            self.mme.directoryd.update_location(
+                ue_context.imsi, self.name, ue_context.ue_ref[0])
+
+    # -- PDU session ----------------------------------------------------------------------
+
+    def _pdu_session(self, ue_context: NgapUeContext,
+                     request: nas5g.PduSessionEstablishmentRequest):
+        if ue_context.state != Ngap5gState.REGISTERED:
+            self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                                nas5g.PduSessionEstablishmentReject(
+                                    imsi=ue_context.imsi,
+                                    pdu_session_id=request.pdu_session_id,
+                                    cause="not registered"))
+            return
+        try:
+            session = yield from self.mme.establish_session(ue_context.imsi)
+        except SessionError as exc:
+            self.stats["pdu_rejects"] += 1
+            self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                                nas5g.PduSessionEstablishmentReject(
+                                    imsi=ue_context.imsi,
+                                    pdu_session_id=request.pdu_session_id,
+                                    cause=str(exc)))
+            return
+        self.stats["pdu_sessions"] += 1
+        accept = nas5g.PduSessionEstablishmentAccept(
+            imsi=ue_context.imsi, pdu_session_id=request.pdu_session_id,
+            ue_ip=session.ue_ip)
+        gnb_id, ran_ue_id = ue_context.ue_ref
+        setup = ngap.PduSessionResourceSetupRequest(
+            ran_ue_id=ran_ue_id, amf_ue_id=ue_context.amf_ue_id,
+            pdu_session_id=request.pdu_session_id,
+            agw_teid=session.agw_teid, agw_address=self.context.node,
+            nas=accept)
+        channel = self._channel_for(gnb_id)
+        imsi = ue_context.imsi
+        try:
+            response = yield channel.call(
+                ngap.GNB_NGAP_SERVICE, "pdu_session_setup", setup,
+                deadline=self.context.config.rpc_deadline)
+        except RpcError:
+            return
+        if response.success and self.sessiond.session(imsi) is not None:
+            self.sessiond.set_enb_tunnel(imsi, response.gnb_teid,
+                                         response.gnb_address or gnb_id)
+
+    # -- deregistration ----------------------------------------------------------------------
+
+    def _on_deregistration(self, ue_context: NgapUeContext,
+                           message: nas5g.DeregistrationRequest) -> None:
+        self.stats["deregistrations"] += 1
+        self.sessiond.terminate_session(ue_context.imsi,
+                                        reason="deregistration")
+        if not message.switch_off:
+            self._send_downlink(ue_context.ue_ref, ue_context.amf_ue_id,
+                                nas5g.DeregistrationAccept(
+                                    imsi=ue_context.imsi))
+        self._drop(ue_context)
+        if self.mme.directoryd is not None:
+            self.mme.directoryd.remove(ue_context.imsi)
+
+    def location_of(self, ue_ref: UeRef5g) -> str:
+        return ue_ref[0]
+
+    # -- plumbing ----------------------------------------------------------------------------
+
+    def _send_downlink(self, ue_ref: UeRef5g, amf_ue_id: int,
+                       message: Any) -> None:
+        gnb_id, ran_ue_id = ue_ref
+        transport = ngap.DownlinkNasTransport5g(
+            ran_ue_id=ran_ue_id, amf_ue_id=amf_ue_id, nas=message)
+        channel = self._channel_for(gnb_id)
+
+        def proc(sim):
+            try:
+                yield channel.call(ngap.GNB_NGAP_SERVICE, "downlink_nas",
+                                   transport,
+                                   deadline=self.context.config.rpc_deadline)
+            except RpcError:
+                pass
+
+        self.context.sim.spawn(proc(self.context.sim),
+                               name=f"ng-dl:{gnb_id}")
+
+    def _channel_for(self, gnb_id: str) -> RpcChannel:
+        channel = self._channels.get(gnb_id)
+        if channel is None:
+            channel = RpcChannel(self.context.sim, self.context.network,
+                                 self.context.node, gnb_id)
+            self._channels[gnb_id] = channel
+        return channel
+
+    def _drop(self, ue_context: NgapUeContext) -> None:
+        self._by_amf_ue_id.pop(ue_context.amf_ue_id, None)
+        existing = self._by_imsi.get(ue_context.imsi)
+        if existing is ue_context:
+            self._by_imsi.pop(ue_context.imsi, None)

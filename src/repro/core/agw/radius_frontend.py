@@ -1,0 +1,108 @@
+"""RADIUS frontend: terminates WiFi AAA at the AGW edge.
+
+The WiFi column of Table 1: access control, subscriber management, and
+session management all map to RADIUS AAA - and in Magma they are served by
+the *same* generic functions that serve LTE/5G.  This frontend translates
+Access-Request/Accounting into :class:`AccessManagement` and
+:class:`Sessiond` calls; no RADIUS type escapes this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import itertools
+
+from ...net.rpc import RpcServer
+from ...wifi import eap
+from ...wifi.radius import (
+    AccessAccept,
+    AccessReject,
+    AccessRequest,
+    AccountingRequest,
+    AccountingResponse,
+    EapChallengeResponse,
+    EapStartRequest,
+    RADIUS_SERVICE,
+)
+from .context import AgwContext
+from .directoryd import Directoryd
+from .enodebd import Enodebd
+from .mme import AccessManagement
+from .sessiond import SessionError, Sessiond
+
+
+class RadiusFrontend:
+    """WiFi access frontend of one AGW."""
+
+    name = "radius"
+
+    def __init__(self, context: AgwContext, server: RpcServer,
+                 mme: AccessManagement, sessiond: Sessiond,
+                 enodebd: Enodebd):
+        self.context = context
+        self.mme = mme
+        self.sessiond = sessiond
+        self.enodebd = enodebd
+        self.stats = {"access_requests": 0, "eap_starts": 0, "accepts": 0,
+                      "rejects": 0, "accounting_stops": 0,
+                      "accounting_interims": 0}
+        self._nonce_counter = itertools.count(1)
+        self._outstanding_nonces = {}
+        server.register(RADIUS_SERVICE, "eap_start", self._on_eap_start)
+        server.register(RADIUS_SERVICE, "access_request",
+                        self._on_access_request)
+        server.register(RADIUS_SERVICE, "accounting", self._on_accounting)
+
+    def _on_eap_start(self, request: EapStartRequest) -> EapChallengeResponse:
+        """First RADIUS round trip: issue an EAP challenge."""
+        self.stats["eap_starts"] += 1
+        self.enodebd.register(request.ap_id, kind="wifi-ap")
+        nonce = eap.make_nonce(request.username, next(self._nonce_counter))
+        self._outstanding_nonces[request.username] = nonce
+        return EapChallengeResponse(username=request.username, nonce=nonce)
+
+    def _on_access_request(self, request: AccessRequest):
+        self.stats["access_requests"] += 1
+        self.enodebd.register(request.ap_id, kind="wifi-ap")
+        expected_nonce = self._outstanding_nonces.pop(request.username, None)
+
+        def proc(sim):
+            if expected_nonce is None or request.nonce != expected_nonce:
+                self.stats["rejects"] += 1
+                return AccessReject(username=request.username,
+                                    cause="no outstanding EAP challenge")
+            try:
+                session = yield from self.mme.authenticate_eap(
+                    request.username, request.nonce, request.eap_proof)
+            except SessionError as exc:
+                self.stats["rejects"] += 1
+                return AccessReject(username=request.username,
+                                    cause=str(exc))
+            self.stats["accepts"] += 1
+            if self.mme.directoryd is not None:
+                self.mme.directoryd.update_location(
+                    request.username, self.name, request.ap_id)
+            # WiFi has no GTP tunnel: downlink egresses straight to the AP.
+            # Reuse the tunnel slot with TEID 0 toward the AP node so the
+            # pipeline has a complete downlink path.
+            self.sessiond.set_enb_tunnel(request.username, 0, request.ap_id)
+            return AccessAccept(username=request.username,
+                                framed_ip=session.ue_ip,
+                                session_id=session.session_id)
+
+        return proc(self.context.sim)
+
+    def _on_accounting(self, request: AccountingRequest):
+        if request.acct_type == AccountingRequest.ACCT_STOP:
+            self.stats["accounting_stops"] += 1
+            self.sessiond.terminate_session(request.username,
+                                            reason="radius-stop")
+            if self.mme.directoryd is not None:
+                self.mme.directoryd.remove(request.username)
+        elif request.acct_type == AccountingRequest.ACCT_INTERIM:
+            self.stats["accounting_interims"] += 1
+            self.sessiond.record_usage(request.username,
+                                       dl_bytes=request.bytes_dl,
+                                       ul_bytes=request.bytes_ul)
+        return AccountingResponse(session_id=request.session_id or "")

@@ -1,0 +1,175 @@
+"""S1AP frontend: terminates the LTE control protocol at the AGW edge.
+
+This module is the LTE-specific "left side" of Figure 4: it speaks S1AP
+with eNodeBs (over the reliable RPC fabric standing in for SCTP) and
+translates into the generic access-management calls on the right side.  No
+S1AP or NAS type escapes northbound of this file except through the generic
+:class:`~repro.core.agw.mme.RanFrontend` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ...lte import s1ap
+from ...lte.enodeb import ENB_S1AP_SERVICE
+from ...net.rpc import RpcChannel, RpcError, RpcServer
+from .context import AgwContext
+from .enodebd import Enodebd
+from .mme import AccessManagement, RanFrontend
+from .sessiond import Sessiond
+
+UeRef = Tuple[str, int]  # (enb_id, enb_ue_id)
+
+
+class S1apFrontend(RanFrontend):
+    """LTE access frontend of one AGW."""
+
+    name = "s1ap"
+
+    def __init__(self, context: AgwContext, server: RpcServer,
+                 mme: AccessManagement, sessiond: Sessiond,
+                 enodebd: Enodebd):
+        self.context = context
+        self.mme = mme
+        self.sessiond = sessiond
+        self.enodebd = enodebd
+        self._channels: Dict[str, RpcChannel] = {}
+        self.stats = {"s1_setups": 0, "uplink_messages": 0,
+                      "downlink_messages": 0, "context_setups": 0,
+                      "context_setup_failures": 0, "releases": 0}
+        server.register(s1ap.S1AP_SERVICE, "setup", self._on_setup)
+        server.register(s1ap.S1AP_SERVICE, "uplink", self._on_uplink)
+        server.register(s1ap.S1AP_SERVICE, "path_switch",
+                        self._on_path_switch)
+
+    # -- southbound handlers (eNodeB -> AGW) --------------------------------------
+
+    def _on_setup(self, request: s1ap.S1SetupRequest) -> s1ap.S1SetupResponse:
+        self.stats["s1_setups"] += 1
+        self.enodebd.register(request.enb_id, kind="enodeb")
+        self._channel_for(request.enb_id)
+        return s1ap.S1SetupResponse(mme_name=self.context.node,
+                                    served_plmn=request.tai.plmn,
+                                    accepted=True)
+
+    def _on_uplink(self, message: Any) -> Dict[str, bool]:
+        self.stats["uplink_messages"] += 1
+        if isinstance(message, s1ap.InitialUeMessage):
+            self.enodebd.heartbeat(message.enb_id)
+            ue_ref: UeRef = (message.enb_id, message.enb_ue_id)
+            self.mme.handle_initial_ue(self, ue_ref, message.nas)
+            return {"accepted": True}
+        if isinstance(message, s1ap.UplinkNasTransport):
+            ue_ref = (message.enb_id, message.enb_ue_id)
+            self.mme.handle_uplink_nas(self, ue_ref, message.mme_ue_id,
+                                       message.nas)
+            return {"accepted": True}
+        if isinstance(message, s1ap.UeContextReleaseRequest):
+            self.stats["idle_releases"] = \
+                self.stats.get("idle_releases", 0) + 1
+            self.mme.handle_ue_idle(message.imsi)
+            return {"accepted": True}
+        return {"accepted": False}
+
+    def location_of(self, ue_ref: UeRef) -> str:
+        return ue_ref[0]
+
+    def page(self, location: str, imsi: str) -> None:
+        """Send a paging request to the eNodeB the UE last camped on."""
+        self.stats["pages"] = self.stats.get("pages", 0) + 1
+        self._spawn_call(location, "paging", s1ap.Paging(imsi=imsi))
+
+    def _on_path_switch(self, request: s1ap.PathSwitchRequest
+                        ) -> s1ap.PathSwitchRequestAck:
+        """Intra-AGW handover: re-point the UE's context and downlink
+        tunnel at the target eNodeB; the session itself does not move."""
+        self.enodebd.register(request.enb_id, kind="enodeb")
+        self._channel_for(request.enb_id)
+        moved = self.mme.update_ue_ref(request.mme_ue_id,
+                                       (request.enb_id, request.enb_ue_id))
+        if not moved or self.sessiond.session(request.imsi) is None:
+            return s1ap.PathSwitchRequestAck(
+                enb_ue_id=request.enb_ue_id, mme_ue_id=request.mme_ue_id,
+                success=False, cause="unknown UE context or session")
+        self.stats["path_switches"] = self.stats.get("path_switches", 0) + 1
+        self.sessiond.set_enb_tunnel(request.imsi, request.enb_teid,
+                                     request.enb_address or request.enb_id)
+        if self.mme.directoryd is not None:
+            self.mme.directoryd.update_location(request.imsi, self.name,
+                                                request.enb_id)
+        return s1ap.PathSwitchRequestAck(
+            enb_ue_id=request.enb_ue_id, mme_ue_id=request.mme_ue_id,
+            success=True)
+
+    # -- RanFrontend interface (generic MME -> RAN) -----------------------------------
+
+    def send_downlink_nas(self, ue_ref: UeRef, message: Any,
+                          mme_ue_id: Optional[int] = None) -> None:
+        enb_id, enb_ue_id = ue_ref
+        self.stats["downlink_messages"] += 1
+        transport = s1ap.DownlinkNasTransport(
+            enb_ue_id=enb_ue_id, mme_ue_id=mme_ue_id or 0, nas=message)
+        self._spawn_call(enb_id, "downlink_nas", transport)
+
+    def setup_context(self, ue_ref: UeRef, mme_ue_id: int, session: Any,
+                      attach_accept: Any) -> None:
+        enb_id, enb_ue_id = ue_ref
+        request = s1ap.InitialContextSetupRequest(
+            enb_ue_id=enb_ue_id, mme_ue_id=mme_ue_id,
+            ue_agg_max_bitrate_mbps=session.installed_rate_mbps,
+            agw_teid=session.agw_teid, agw_address=self.context.node,
+            nas=attach_accept)
+        channel = self._channel_for(enb_id)
+        imsi = session.imsi
+
+        def proc(sim):
+            try:
+                response = yield channel.call(
+                    ENB_S1AP_SERVICE, "initial_context_setup", request,
+                    deadline=self.context.config.rpc_deadline)
+            except RpcError:
+                self.stats["context_setup_failures"] += 1
+                return
+            if response.success:
+                self.stats["context_setups"] += 1
+                if self.sessiond.session(imsi) is not None:
+                    self.sessiond.set_enb_tunnel(
+                        imsi, response.enb_teid,
+                        response.enb_address or enb_id)
+            else:
+                self.stats["context_setup_failures"] += 1
+
+        self.context.sim.spawn(proc(self.context.sim),
+                               name=f"ics:{imsi}")
+
+    def release_context(self, ue_ref: UeRef, mme_ue_id: int,
+                        cause: str) -> None:
+        enb_id, enb_ue_id = ue_ref
+        self.stats["releases"] += 1
+        command = s1ap.UeContextReleaseCommand(
+            enb_ue_id=enb_ue_id, mme_ue_id=mme_ue_id, cause=cause)
+        self._spawn_call(enb_id, "ue_context_release", command)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _channel_for(self, enb_id: str) -> RpcChannel:
+        channel = self._channels.get(enb_id)
+        if channel is None:
+            channel = RpcChannel(self.context.sim, self.context.network,
+                                 self.context.node, enb_id)
+            self._channels[enb_id] = channel
+        return channel
+
+    def _spawn_call(self, enb_id: str, method: str, payload: Any) -> None:
+        channel = self._channel_for(enb_id)
+
+        def proc(sim):
+            try:
+                yield channel.call(ENB_S1AP_SERVICE, method, payload,
+                                   deadline=self.context.config.rpc_deadline)
+            except RpcError:
+                pass  # the UE-side guard timers own failure semantics
+
+        self.context.sim.spawn(proc(self.context.sim),
+                               name=f"s1ap-dl:{enb_id}/{method}")

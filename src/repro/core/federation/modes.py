@@ -1,0 +1,39 @@
+"""Deployment modes (§3.6).
+
+- **standalone**: an independent network; all control and user plane
+  terminate in the AGW.
+- **local_breakout**: control plane federates with an existing MNO (auth
+  vectors and policy fetched through the FeG), but user traffic breaks out
+  locally from the AGW straight to the Internet.
+- **home_routed**: both planes terminate in the external MNO; user traffic
+  is tunneled via the GTP aggregator to the MNO's P-GW.
+"""
+
+from __future__ import annotations
+
+
+class DeploymentMode:
+    STANDALONE = "standalone"
+    LOCAL_BREAKOUT = "local_breakout"
+    HOME_ROUTED = "home_routed"
+
+    ALL = (STANDALONE, LOCAL_BREAKOUT, HOME_ROUTED)
+
+
+def validate_mode(mode: str) -> str:
+    if mode not in DeploymentMode.ALL:
+        raise ValueError(f"unknown deployment mode {mode!r}; "
+                         f"choose from {DeploymentMode.ALL}")
+    return mode
+
+
+def user_plane_egress(mode: str, federated_subscriber: bool) -> str:
+    """Which egress the data plane should use for a session.
+
+    Returns ``"sgi"`` (local Internet breakout) or ``"gtpa"`` (tunnel to
+    the MNO via the GTP aggregator).
+    """
+    validate_mode(mode)
+    if mode == DeploymentMode.HOME_ROUTED and federated_subscriber:
+        return "gtpa"
+    return "sgi"

@@ -1,0 +1,48 @@
+"""The Magma orchestrator: central control plane (§3.2)."""
+
+from .alerting import Alert, AlertManager, AlertRule
+from .bootstrapper import (
+    BootstrapError,
+    Bootstrapper,
+    Certificate,
+    Challenge,
+    sign_challenge,
+)
+from .config_store import ConfigStore, WalEntry
+from .metricsd import Metricsd, Sample
+from .orchestrator import Orchestrator, OrchestratorConfig
+from .statesync import (
+    DEFAULT_NETWORK,
+    GatewayState,
+    NS_GATEWAYS,
+    NS_POLICIES,
+    NS_RAN,
+    NS_SUBSCRIBERS,
+    StateSync,
+    scoped,
+)
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertRule",
+    "BootstrapError",
+    "Bootstrapper",
+    "Certificate",
+    "Challenge",
+    "ConfigStore",
+    "GatewayState",
+    "Metricsd",
+    "NS_GATEWAYS",
+    "NS_POLICIES",
+    "NS_RAN",
+    "NS_SUBSCRIBERS",
+    "Orchestrator",
+    "OrchestratorConfig",
+    "Sample",
+    "StateSync",
+    "scoped",
+    "DEFAULT_NETWORK",
+    "WalEntry",
+    "sign_challenge",
+]

@@ -1,0 +1,71 @@
+"""Alerting: rules evaluated over orchestrator state and metrics.
+
+Central monitoring is one of the two generic functions Magma adds beyond
+the 3GPP feature set (Table 1: "telemetry and logging - no equivalent
+defined").  Operators consume these alerts through the northbound API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Alert:
+    rule_name: str
+    subject: str
+    message: str
+    raised_at: float
+
+
+@dataclass
+class AlertRule:
+    """A named predicate producing alert subjects when it fires."""
+
+    name: str
+    evaluate: Callable[[], List[str]]   # returns offending subjects
+    message: str = ""
+
+
+class AlertManager:
+    """Evaluates rules; deduplicates active alerts until they resolve."""
+
+    def __init__(self, clock=None):
+        self._clock = clock or (lambda: 0.0)
+        self._rules: Dict[str, AlertRule] = {}
+        self._active: Dict[tuple, Alert] = {}
+        self._history: List[Alert] = []
+
+    def add_rule(self, rule: AlertRule) -> None:
+        if rule.name in self._rules:
+            raise ValueError(f"duplicate alert rule {rule.name!r}")
+        self._rules[rule.name] = rule
+
+    def evaluate(self) -> List[Alert]:
+        """Run all rules; returns newly raised alerts."""
+        now = self._clock()
+        new_alerts: List[Alert] = []
+        still_firing = set()
+        for rule in self._rules.values():
+            for subject in rule.evaluate():
+                key = (rule.name, subject)
+                still_firing.add(key)
+                if key not in self._active:
+                    alert = Alert(rule_name=rule.name, subject=subject,
+                                  message=rule.message or rule.name,
+                                  raised_at=now)
+                    self._active[key] = alert
+                    self._history.append(alert)
+                    new_alerts.append(alert)
+        # Resolve alerts whose condition cleared.
+        for key in list(self._active):
+            if key not in still_firing:
+                del self._active[key]
+        return new_alerts
+
+    def active_alerts(self) -> List[Alert]:
+        return list(self._active.values())
+
+    def history(self) -> List[Alert]:
+        return list(self._history)

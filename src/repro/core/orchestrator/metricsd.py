@@ -1,0 +1,86 @@
+"""metricsd: the orchestrator's telemetry store (Prometheus stand-in).
+
+Metrics state is "captured on a best-effort basis" (§3.4): gateways push
+samples with their check-ins; nothing blocks on metrics delivery, and a
+bounded retention window drops old samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze(labels: Optional[Dict[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    time: float
+    value: float
+
+
+class Metricsd:
+    """Time-series metric samples keyed by (name, labels)."""
+
+    def __init__(self, retention: float = 7 * 24 * 3600.0,
+                 max_samples_per_series: int = 100_000):
+        self.retention = retention
+        self.max_samples = max_samples_per_series
+        self._series: Dict[Tuple[str, Labels], Deque[Sample]] = {}
+        self.stats = {"ingested": 0, "dropped_old": 0}
+
+    def ingest(self, name: str, value: float, time: float,
+               labels: Optional[Dict[str, str]] = None) -> None:
+        key = (name, _freeze(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = deque()
+            self._series[key] = series
+        series.append(Sample(time=time, value=value))
+        self.stats["ingested"] += 1
+        self._evict(series, time)
+
+    def ingest_bundle(self, metrics: Dict[str, float], time: float,
+                      labels: Optional[Dict[str, str]] = None) -> None:
+        for name, value in metrics.items():
+            self.ingest(name, value, time, labels)
+
+    def _evict(self, series: Deque[Sample], now: float) -> None:
+        while series and (now - series[0].time > self.retention
+                          or len(series) > self.max_samples):
+            series.popleft()
+            self.stats["dropped_old"] += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, name: str,
+              labels: Optional[Dict[str, str]] = None) -> List[Sample]:
+        return list(self._series.get((name, _freeze(labels)), ()))
+
+    def latest(self, name: str,
+               labels: Optional[Dict[str, str]] = None) -> Optional[Sample]:
+        series = self._series.get((name, _freeze(labels)))
+        if not series:
+            return None
+        return series[-1]
+
+    def series_names(self) -> List[str]:
+        return sorted({name for (name, _labels) in self._series})
+
+    def label_sets(self, name: str) -> List[Dict[str, str]]:
+        return [dict(labels) for (n, labels) in self._series if n == name]
+
+    def sum_latest(self, name: str) -> float:
+        """Sum of the latest sample across all label sets of ``name``."""
+        total = 0.0
+        for key, series in self._series.items():
+            if key[0] == name and series:
+                total += series[-1].value
+        return total

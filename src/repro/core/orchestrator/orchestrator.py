@@ -1,0 +1,195 @@
+"""The Magma orchestrator: central point of control (§3.2).
+
+Composes the durable config store, state-sync service, metrics store,
+bootstrapper, and alert manager, and exposes the *northbound API* that
+operators (and their OSS/BSS systems) integrate with.  All configuration
+mutations flow through here - AGWs never write config state (§3.4).
+
+The orchestrator has its own CPU model so the §4.3.2 scaling study can
+measure control-plane load as a function of gateway count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ...net.rpc import RpcError, RpcServer
+from ...net.simnet import Network
+from ...sim.cpu import CpuModel
+from ...sim.kernel import Simulator
+from ...sim.monitor import Monitor
+from ..agw.subscriberdb import SubscriberProfile
+from ..policy.rules import PolicyRule
+from .alerting import AlertManager, AlertRule
+from .bootstrapper import Bootstrapper, BootstrapError
+from .config_store import ConfigStore
+from .metricsd import Metricsd
+from .statesync import (
+    DEFAULT_NETWORK,
+    NS_POLICIES,
+    NS_RAN,
+    NS_SUBSCRIBERS,
+    StateSync,
+    scoped,
+)
+
+
+@dataclass
+class OrchestratorConfig:
+    """Sizing and per-operation CPU costs for the orchestrator cluster."""
+
+    cores: float = 12.0              # ~3 modest VMs of the minimal deploy
+    checkin_cpu_cost: float = 0.002
+    metrics_cpu_cost_per_sample: float = 0.0002
+    config_push_cpu_cost: float = 0.01
+    northbound_cpu_cost: float = 0.005
+    offline_threshold: float = 300.0
+    quantum: float = 0.05
+
+
+class Orchestrator:
+    """The central controller, reachable at a network node."""
+
+    def __init__(self, sim: Simulator, network: Network, node: str = "orc",
+                 config: Optional[OrchestratorConfig] = None,
+                 monitor: Optional[Monitor] = None):
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.config = config or OrchestratorConfig()
+        self.monitor = monitor or Monitor()
+        network.add_node(node)
+        self.cpu = CpuModel(sim, cores=self.config.cores,
+                            quantum=self.config.quantum,
+                            monitor=self.monitor, name=node)
+        self.store = ConfigStore()
+        self.metricsd = Metricsd()
+        self.statesync = StateSync(sim, self.store, self.metricsd)
+        self.bootstrapper = Bootstrapper(clock=lambda: sim.now)
+        self.alerts = AlertManager(clock=lambda: sim.now)
+        self.alerts.add_rule(AlertRule(
+            name="gateway-offline",
+            evaluate=lambda: self.statesync.offline_gateways(
+                self.config.offline_threshold),
+            message="gateway has missed check-ins"))
+        self.alerts.add_rule(AlertRule(
+            name="gateway-unhealthy",
+            evaluate=self._unhealthy_gateways,
+            message="gateway self-reports failing health checks"))
+        self.server = RpcServer(sim, network, node)
+        self.server.register("statesync", "checkin", self._checkin_handler)
+        self.server.register("bootstrap", "challenge", self._challenge_handler)
+        self.server.register("bootstrap", "complete", self._complete_handler)
+
+    # -- RPC handlers ---------------------------------------------------------------
+
+    def _checkin_handler(self, request: Dict[str, Any]):
+        cost = self.config.checkin_cpu_cost
+        metrics = request.get("metrics") or {}
+        cost += len(metrics) * self.config.metrics_cpu_cost_per_sample
+        response = self.statesync.handle_checkin(request)
+        if response.get("config") is not None:
+            cost += self.config.config_push_cpu_cost
+
+        def proc(sim):
+            yield self.cpu.submit("checkin", cost)
+            return response
+
+        return proc(self.sim)
+
+    def _challenge_handler(self, request: Dict[str, Any]):
+        try:
+            challenge = self.bootstrapper.request_challenge(
+                request["gateway_id"])
+        except BootstrapError as exc:
+            raise RpcError(RpcError.PERMISSION_DENIED, str(exc))
+        return {"nonce": challenge.nonce}
+
+    def _complete_handler(self, request: Dict[str, Any]):
+        try:
+            cert = self.bootstrapper.complete(request["gateway_id"],
+                                              request["signature"])
+        except BootstrapError as exc:
+            raise RpcError(RpcError.PERMISSION_DENIED, str(exc))
+        return {"serial": cert.serial, "token": cert.token,
+                "expires_at": cert.expires_at}
+
+    # -- northbound API (operator-facing) ----------------------------------------------
+
+    def add_subscriber(self, profile: SubscriberProfile,
+                       network_id: str = DEFAULT_NETWORK) -> int:
+        """Provision a subscriber network-wide; returns the config version.
+
+        ``network_id`` selects the logical network (tenant) in multi-network
+        deployments; gateways only receive their own network's config.
+        """
+        self._charge_northbound()
+        return self.store.put(scoped(NS_SUBSCRIBERS, network_id),
+                              profile.imsi, profile)
+
+    def delete_subscriber(self, imsi: str,
+                          network_id: str = DEFAULT_NETWORK) -> int:
+        self._charge_northbound()
+        return self.store.delete(scoped(NS_SUBSCRIBERS, network_id), imsi)
+
+    def get_subscriber(self, imsi: str,
+                       network_id: str = DEFAULT_NETWORK
+                       ) -> Optional[SubscriberProfile]:
+        return self.store.get(scoped(NS_SUBSCRIBERS, network_id), imsi)
+
+    def subscriber_count(self, network_id: str = DEFAULT_NETWORK) -> int:
+        return len(self.store.keys(scoped(NS_SUBSCRIBERS, network_id)))
+
+    def upsert_policy(self, policy: PolicyRule,
+                      network_id: str = DEFAULT_NETWORK) -> int:
+        self._charge_northbound()
+        return self.store.put(scoped(NS_POLICIES, network_id),
+                              policy.policy_id, policy)
+
+    def delete_policy(self, policy_id: str,
+                      network_id: str = DEFAULT_NETWORK) -> int:
+        self._charge_northbound()
+        return self.store.delete(scoped(NS_POLICIES, network_id), policy_id)
+
+    def set_ran_config(self, key: str, value: Any,
+                       network_id: str = DEFAULT_NETWORK) -> int:
+        self._charge_northbound()
+        return self.store.put(scoped(NS_RAN, network_id), key, value)
+
+    def list_gateways(self) -> List[Dict[str, Any]]:
+        return [{
+            "gateway_id": g.gateway_id,
+            "last_checkin": g.last_checkin,
+            "config_version": g.config_version,
+            "checkins": g.checkins,
+            "status": g.status,
+        } for g in self.statesync.gateways()]
+
+    def gateway_status(self, gateway_id: str) -> Optional[Dict[str, Any]]:
+        state = self.statesync.gateway(gateway_id)
+        if state is None:
+            return None
+        return {"gateway_id": state.gateway_id,
+                "last_checkin": state.last_checkin,
+                "config_version": state.config_version,
+                "status": state.status}
+
+    def query_metric(self, name: str,
+                     labels: Optional[Dict[str, str]] = None):
+        return self.metricsd.query(name, labels)
+
+    def evaluate_alerts(self):
+        return self.alerts.evaluate()
+
+    def _unhealthy_gateways(self) -> List[str]:
+        """Gateways whose last check-in carried failing health checks."""
+        unhealthy = []
+        for state in self.statesync.gateways():
+            health = state.status.get("health")
+            if health is not None and health.get("healthy") is False:
+                unhealthy.append(state.gateway_id)
+        return sorted(unhealthy)
+
+    def _charge_northbound(self) -> None:
+        self.cpu.submit("northbound", self.config.northbound_cpu_cost)

@@ -1,0 +1,124 @@
+"""State synchronization service: the orchestrator's side of check-ins.
+
+Implements the desired-state push of §3.4: each gateway check-in carries
+the gateway's applied config version; when stale, the response carries the
+*entire* current configuration bundle, not a delta.  Losing any number of
+pushes therefore never desynchronizes a gateway - the next successful
+check-in converges it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...sim.kernel import Simulator
+from .config_store import ConfigStore
+from .metricsd import Metricsd
+
+NS_SUBSCRIBERS = "subscribers"
+NS_POLICIES = "policies"
+NS_RAN = "ran"
+NS_GATEWAYS = "gateways"
+DEFAULT_NETWORK = "default"
+
+
+def scoped(namespace: str, network_id: str) -> str:
+    """Multi-tenant scoping: each logical *network* gets its own
+    subscriber/policy/RAN namespaces (the §6 network-virtualization
+    direction).  The default network keeps the bare namespace so
+    single-network deployments stay simple."""
+    if network_id == DEFAULT_NETWORK:
+        return namespace
+    return f"{namespace}@{network_id}"
+
+
+@dataclass
+class GatewayState:
+    gateway_id: str
+    first_seen: float
+    last_checkin: float
+    config_version: int = 0
+    checkins: int = 0
+    status: Dict[str, Any] = field(default_factory=dict)
+    network_id: str = DEFAULT_NETWORK
+
+
+class StateSync:
+    """Tracks gateway liveness and serves desired-state config bundles."""
+
+    def __init__(self, sim: Simulator, store: ConfigStore,
+                 metricsd: Optional[Metricsd] = None):
+        self.sim = sim
+        self.store = store
+        self.metricsd = metricsd
+        self._gateways: Dict[str, GatewayState] = {}
+        self._bundle_cache: Dict[str, tuple] = {}  # network -> (ver, bundle)
+        self.stats = {"checkins": 0, "config_pushes": 0}
+
+    # -- the checkin handler (registered as statesync/checkin) ---------------------
+
+    def handle_checkin(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        gateway_id = request["gateway_id"]
+        now = self.sim.now
+        state = self._gateways.get(gateway_id)
+        if state is None:
+            state = GatewayState(gateway_id=gateway_id, first_seen=now,
+                                 last_checkin=now)
+            self._gateways[gateway_id] = state
+        state.last_checkin = now
+        state.checkins += 1
+        state.config_version = request.get("config_version", 0)
+        state.status = request.get("status", {})
+        state.network_id = request.get("network_id", DEFAULT_NETWORK)
+        self.stats["checkins"] += 1
+        metrics = request.get("metrics")
+        if metrics and self.metricsd is not None:
+            self.metricsd.ingest_bundle(metrics, now,
+                                        labels={"gateway": gateway_id})
+        response: Dict[str, Any] = {"config_version": self.store.version}
+        if state.config_version < self.store.version:
+            response["config"] = self.config_bundle(state.network_id)
+            self.stats["config_pushes"] += 1
+        else:
+            response["config"] = None
+        return response
+
+    # -- bundle construction ----------------------------------------------------------
+
+    def config_bundle(self, network_id: str = DEFAULT_NETWORK
+                      ) -> Dict[str, Any]:
+        """The network's full desired state (cached per store version)."""
+        cached = self._bundle_cache.get(network_id)
+        if cached is None or cached[0] != self.store.version:
+            bundle = {
+                "subscribers": self.store.namespace(
+                    scoped(NS_SUBSCRIBERS, network_id)),
+                "policies": self.store.namespace(
+                    scoped(NS_POLICIES, network_id)),
+                "ran": self.store.namespace(scoped(NS_RAN, network_id)),
+            }
+            self._bundle_cache[network_id] = (self.store.version, bundle)
+            return bundle
+        return cached[1]
+
+    # -- gateway registry ----------------------------------------------------------------
+
+    def gateways(self) -> List[GatewayState]:
+        return list(self._gateways.values())
+
+    def gateway(self, gateway_id: str) -> Optional[GatewayState]:
+        return self._gateways.get(gateway_id)
+
+    def gateway_count(self) -> int:
+        return len(self._gateways)
+
+    def offline_gateways(self, max_age: float) -> List[str]:
+        now = self.sim.now
+        return sorted(g.gateway_id for g in self._gateways.values()
+                      if now - g.last_checkin > max_age)
+
+    def stale_gateways(self) -> List[str]:
+        """Gateways whose applied config lags the store version."""
+        return sorted(g.gateway_id for g in self._gateways.values()
+                      if g.config_version < self.store.version)

@@ -1,0 +1,42 @@
+"""Policy and charging: rules, enforcement, online charging, accounting."""
+
+from .accounting import AccountingLog, ChargingDataRecord
+from .enforcer import EnforcementDecision, EnforcementState, UNLIMITED_MBPS
+from .ocs import (
+    Account,
+    DEFAULT_QUOTA_BYTES,
+    OcsError,
+    OnlineChargingSystem,
+    QuotaGrant,
+)
+from .rules import (
+    ChargingMode,
+    GB,
+    MB,
+    PolicyRule,
+    capped,
+    prepaid,
+    rate_limited,
+    unlimited,
+)
+
+__all__ = [
+    "Account",
+    "AccountingLog",
+    "ChargingDataRecord",
+    "ChargingMode",
+    "DEFAULT_QUOTA_BYTES",
+    "EnforcementDecision",
+    "EnforcementState",
+    "GB",
+    "MB",
+    "OcsError",
+    "OnlineChargingSystem",
+    "PolicyRule",
+    "QuotaGrant",
+    "UNLIMITED_MBPS",
+    "capped",
+    "prepaid",
+    "rate_limited",
+    "unlimited",
+]

@@ -1,0 +1,99 @@
+"""Flow tables: priority-ordered match/action rules with statistics.
+
+Mirrors the OVS/OpenFlow table model that Magma's ``pipelined`` programs:
+each table holds rules at integer priorities; the highest-priority matching
+rule wins; every hit updates the rule's packet/byte counters (the paper's
+data-plane responsibility (ii): "collecting statistics for those flows").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from .actions import Action
+from .matcher import FlowMatch
+from .packet import Packet
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class FlowStats:
+    packets: int = 0
+    bytes: int = 0
+    # Fluid accounting (experiments): admitted rate integrated over time.
+    fluid_byte_seconds: float = 0.0
+
+
+class FlowRule:
+    """A single match/action entry."""
+
+    def __init__(self, priority: int, match: FlowMatch,
+                 actions: Sequence[Action], cookie: Any = None):
+        if priority < 0:
+            raise ValueError("priority must be >= 0")
+        self.rule_id = next(_rule_ids)
+        self.priority = priority
+        self.match = match
+        self.actions = list(actions)
+        self.cookie = cookie
+        self.stats = FlowStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowRule id={self.rule_id} prio={self.priority} "
+                f"cookie={self.cookie!r}>")
+
+
+class FlowTable:
+    """A priority-ordered rule list with lookup and management operations."""
+
+    def __init__(self, table_id: int, name: str = ""):
+        self.table_id = table_id
+        self.name = name or f"table-{table_id}"
+        self._rules: List[FlowRule] = []
+        self.lookups = 0
+        self.matches = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rules(self) -> List[FlowRule]:
+        return list(self._rules)
+
+    def add(self, rule: FlowRule) -> FlowRule:
+        """Insert keeping rules sorted by descending priority (stable)."""
+        index = len(self._rules)
+        for i, existing in enumerate(self._rules):
+            if existing.priority < rule.priority:
+                index = i
+                break
+        self._rules.insert(index, rule)
+        return rule
+
+    def remove_by_cookie(self, cookie: Any) -> int:
+        """Delete all rules with this cookie; returns how many."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.cookie != cookie]
+        return before - len(self._rules)
+
+    def remove_rule(self, rule_id: int) -> bool:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.rule_id != rule_id]
+        return len(self._rules) < before
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    def lookup(self, pkt: Packet, in_port: Optional[str] = None) -> Optional[FlowRule]:
+        """Highest-priority matching rule, or None on table miss."""
+        self.lookups += 1
+        for rule in self._rules:
+            if rule.match.matches(pkt, in_port):
+                self.matches += 1
+                return rule
+        return None
+
+    def find_by_cookie(self, cookie: Any) -> List[FlowRule]:
+        return [r for r in self._rules if r.cookie == cookie]

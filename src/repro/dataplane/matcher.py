@@ -1,0 +1,89 @@
+"""Flow matching: the classifier half of a match/action rule.
+
+A :class:`FlowMatch` is a conjunction of field predicates; ``None`` fields
+are wildcards.  IP address fields accept either exact addresses or
+``"a.b.c.d/len"`` prefixes.  This covers the matching vocabulary Magma's
+``pipelined`` uses: per-UE IP, tunnel id (TEID), direction (port), transport
+5-tuple pieces, and scratch metadata registers set by earlier tables.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .packet import GtpuHeader, IPv4Header, Packet, TcpHeader, UdpHeader
+
+
+def _ip_matches(pattern: str, address: str) -> bool:
+    """Exact or CIDR-prefix match."""
+    if "/" in pattern:
+        try:
+            network = ipaddress.ip_network(pattern, strict=False)
+            return ipaddress.ip_address(address) in network
+        except ValueError:
+            return False
+    return pattern == address
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """A conjunction of header-field predicates; None means wildcard."""
+
+    in_port: Optional[str] = None
+    ip_src: Optional[str] = None
+    ip_dst: Optional[str] = None
+    ip_proto: Optional[int] = None
+    dscp: Optional[int] = None
+    l4_sport: Optional[int] = None
+    l4_dport: Optional[int] = None
+    tun_id: Optional[int] = None
+    registers: Optional[Dict[str, Any]] = None
+
+    def matches(self, pkt: Packet, in_port: Optional[str] = None) -> bool:
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        ip = pkt.inner_ip()
+        if self.ip_src is not None:
+            if ip is None or not _ip_matches(self.ip_src, ip.src):
+                return False
+        if self.ip_dst is not None:
+            if ip is None or not _ip_matches(self.ip_dst, ip.dst):
+                return False
+        if self.ip_proto is not None:
+            if ip is None or ip.proto != self.ip_proto:
+                return False
+        if self.dscp is not None:
+            if ip is None or ip.dscp != self.dscp:
+                return False
+        if self.l4_sport is not None or self.l4_dport is not None:
+            l4 = pkt.find(UdpHeader) or pkt.find(TcpHeader)
+            if l4 is None:
+                return False
+            if self.l4_sport is not None and l4.sport != self.l4_sport:
+                return False
+            if self.l4_dport is not None and l4.dport != self.l4_dport:
+                return False
+        if self.tun_id is not None:
+            gtpu = pkt.find(GtpuHeader)
+            teid = gtpu.teid if gtpu is not None else pkt.metadata.get("decapped_teid")
+            if teid != self.tun_id:
+                return False
+        if self.registers:
+            for reg, expected in self.registers.items():
+                if pkt.metadata.get(reg) != expected:
+                    return False
+        return True
+
+    def specificity(self) -> int:
+        """How many fields are constrained (used as a tiebreak in tests)."""
+        fields = [self.in_port, self.ip_src, self.ip_dst, self.ip_proto,
+                  self.dscp, self.l4_sport, self.l4_dport, self.tun_id]
+        count = sum(1 for f in fields if f is not None)
+        if self.registers:
+            count += len(self.registers)
+        return count
+
+
+MATCH_ALL = FlowMatch()

@@ -1,0 +1,86 @@
+"""OpenFlow-like control messages for programming the software switch.
+
+Magma's ``pipelined`` service programs OVS through OpenFlow; our
+data-plane-configuration service programs :class:`SoftwareSwitch` through
+these messages.  Keeping the control interface message-based (rather than
+direct method calls) preserves the paper's architectural point: if the
+forwarding engine were swapped, only the data-plane-configuration component
+would change (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from .actions import Action
+from .matcher import FlowMatch
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Add or delete flow rules in a table."""
+
+    ADD = "add"
+    DELETE = "delete"
+    DELETE_BY_COOKIE = "delete_by_cookie"
+
+    command: str
+    table_id: int = 0
+    priority: int = 0
+    match: Optional[FlowMatch] = None
+    actions: Sequence[Action] = ()
+    cookie: Any = None
+
+
+@dataclass(frozen=True)
+class MeterMod:
+    """Add, modify, or delete a token-bucket meter."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+    command: str
+    meter_id: int
+    rate_mbps: float = 0.0
+    burst_bytes: int = 125_000
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Request flow stats, optionally filtered by cookie."""
+
+    cookie: Any = None
+    table_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Per-rule stats snapshot."""
+
+    entries: Sequence["FlowStatsEntry"]
+
+
+@dataclass(frozen=True)
+class FlowStatsEntry:
+    table_id: int
+    cookie: Any
+    priority: int
+    packets: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Complete all preceding mods before replying (ordering fence)."""
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """A packet punted to the controller (table miss or explicit action)."""
+
+    packet: Any
+    in_port: Optional[str]
+    table_id: int
+    reason: str

@@ -1,0 +1,279 @@
+"""The software switch: an OVS-like multi-table match/action pipeline.
+
+Responsibilities (paper §3.5): (i) recognize flows of active sessions,
+(ii) collect statistics, (iii) add/remove tunnel headers, (iv) enforce
+per-subscriber policies such as rate limits (via meters).
+
+The switch supports two execution modes:
+
+- **Per-packet** (:meth:`SoftwareSwitch.inject`): full pipeline walk for a
+  real :class:`~repro.dataplane.packet.Packet`; used by unit tests, the
+  quickstart example, and protocol-level scenarios.
+- **Fluid** (:meth:`SoftwareSwitch.evaluate_fluid`): classify a
+  representative packet once and compute the *admitted rate* for an offered
+  rate, applying any meters along the action chain.  Experiments use this to
+  model hundreds of Mbps without simulating every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import actions as act
+from .flowtable import FlowRule, FlowTable
+from .matcher import FlowMatch
+from .meter import TokenBucketMeter
+from .openflow import (
+    BarrierRequest,
+    FlowMod,
+    FlowStatsEntry,
+    MeterMod,
+    PacketIn,
+    StatsReply,
+    StatsRequest,
+)
+from .packet import Packet, gtpu_decap, gtpu_encap
+
+MAX_PIPELINE_STEPS = 64
+
+
+class PipelineError(Exception):
+    """Raised on malformed pipelines (loops, unknown tables/meters)."""
+
+
+class SoftwareSwitch:
+    """A programmable multi-table software datapath."""
+
+    def __init__(self, name: str, num_tables: int = 4,
+                 clock: Optional[Callable[[], float]] = None):
+        if num_tables < 1:
+            raise ValueError("need at least one table")
+        self.name = name
+        self.tables: List[FlowTable] = [FlowTable(i) for i in range(num_tables)]
+        self.meters: Dict[int, TokenBucketMeter] = {}
+        self._ports: Dict[str, Callable[[Packet], None]] = {}
+        self._controller: Optional[Callable[[PacketIn], None]] = None
+        self._clock = clock or (lambda: 0.0)
+        self.stats = {"rx": 0, "tx": 0, "dropped": 0, "to_controller": 0,
+                      "meter_dropped": 0}
+
+    # -- ports & controller ----------------------------------------------------
+
+    def add_port(self, name: str, deliver: Callable[[Packet], None]) -> None:
+        if name in self._ports:
+            raise ValueError(f"port {name!r} already exists on {self.name}")
+        self._ports[name] = deliver
+
+    def remove_port(self, name: str) -> None:
+        self._ports.pop(name, None)
+
+    def ports(self) -> List[str]:
+        return list(self._ports)
+
+    def set_controller(self, callback: Callable[[PacketIn], None]) -> None:
+        self._controller = callback
+
+    # -- control channel ---------------------------------------------------------
+
+    def apply(self, message: Any) -> Any:
+        """Apply a control message (FlowMod/MeterMod/StatsRequest/Barrier)."""
+        if isinstance(message, FlowMod):
+            return self._apply_flow_mod(message)
+        if isinstance(message, MeterMod):
+            return self._apply_meter_mod(message)
+        if isinstance(message, StatsRequest):
+            return self._collect_stats(message)
+        if isinstance(message, BarrierRequest):
+            return True  # mods apply synchronously in this model
+        raise PipelineError(f"unknown control message {message!r}")
+
+    def _table(self, table_id: int) -> FlowTable:
+        if not 0 <= table_id < len(self.tables):
+            raise PipelineError(f"no table {table_id} on {self.name}")
+        return self.tables[table_id]
+
+    def _apply_flow_mod(self, mod: FlowMod) -> Any:
+        table = self._table(mod.table_id)
+        if mod.command == FlowMod.ADD:
+            match = mod.match or FlowMatch()
+            return table.add(FlowRule(mod.priority, match, mod.actions, mod.cookie))
+        if mod.command == FlowMod.DELETE_BY_COOKIE:
+            return table.remove_by_cookie(mod.cookie)
+        if mod.command == FlowMod.DELETE:
+            removed = 0
+            for rule in table.rules():
+                if rule.match == mod.match and rule.priority == mod.priority:
+                    table.remove_rule(rule.rule_id)
+                    removed += 1
+            return removed
+        raise PipelineError(f"unknown FlowMod command {mod.command!r}")
+
+    def _apply_meter_mod(self, mod: MeterMod) -> Any:
+        if mod.command == MeterMod.ADD:
+            if mod.meter_id in self.meters:
+                raise PipelineError(f"meter {mod.meter_id} exists")
+            self.meters[mod.meter_id] = TokenBucketMeter(
+                mod.meter_id, mod.rate_mbps, mod.burst_bytes)
+            return self.meters[mod.meter_id]
+        if mod.command == MeterMod.MODIFY:
+            meter = self.meters.get(mod.meter_id)
+            if meter is None:
+                raise PipelineError(f"no meter {mod.meter_id}")
+            meter.reconfigure(mod.rate_mbps, mod.burst_bytes)
+            return meter
+        if mod.command == MeterMod.DELETE:
+            return self.meters.pop(mod.meter_id, None) is not None
+        raise PipelineError(f"unknown MeterMod command {mod.command!r}")
+
+    def _collect_stats(self, request: StatsRequest) -> StatsReply:
+        entries = []
+        tables = (self.tables if request.table_id is None
+                  else [self._table(request.table_id)])
+        for table in tables:
+            for rule in table.rules():
+                if request.cookie is not None and rule.cookie != request.cookie:
+                    continue
+                entries.append(FlowStatsEntry(
+                    table_id=table.table_id, cookie=rule.cookie,
+                    priority=rule.priority, packets=rule.stats.packets,
+                    bytes=rule.stats.bytes))
+        return StatsReply(entries=tuple(entries))
+
+    # -- per-packet execution ------------------------------------------------------
+
+    def inject(self, pkt: Packet, in_port: str) -> None:
+        """Run a packet through the pipeline starting at table 0."""
+        self.stats["rx"] += 1
+        self._execute(pkt, in_port, table_id=0, steps=0)
+
+    def _execute(self, pkt: Packet, in_port: Optional[str], table_id: int,
+                 steps: int) -> None:
+        if steps > MAX_PIPELINE_STEPS:
+            raise PipelineError("pipeline loop detected")
+        table = self._table(table_id)
+        rule = table.lookup(pkt, in_port)
+        if rule is None:
+            self._punt(pkt, in_port, table_id, "table-miss")
+            return
+        rule.stats.packets += 1
+        rule.stats.bytes += pkt.size_bytes
+        for action in rule.actions:
+            if isinstance(action, act.Drop):
+                self.stats["dropped"] += 1
+                return
+            if isinstance(action, act.Output):
+                deliver = self._ports.get(action.port)
+                if deliver is None:
+                    self.stats["dropped"] += 1
+                    return
+                self.stats["tx"] += 1
+                deliver(pkt)
+                return
+            if isinstance(action, act.ToController):
+                self._punt(pkt, in_port, table_id, action.reason)
+                return
+            if isinstance(action, act.GotoTable):
+                self._execute(pkt, in_port, action.table_id, steps + 1)
+                return
+            if isinstance(action, act.SetRegister):
+                pkt.metadata[action.register] = action.value
+            elif isinstance(action, act.SetDscp):
+                ip = pkt.inner_ip()
+                if ip is not None:
+                    ip.dscp = action.dscp
+            elif isinstance(action, act.Meter):
+                meter = self.meters.get(action.meter_id)
+                if meter is None:
+                    raise PipelineError(f"rule references missing meter "
+                                        f"{action.meter_id}")
+                if not meter.allow(pkt.size_bytes, self._clock()):
+                    self.stats["meter_dropped"] += 1
+                    return
+            elif isinstance(action, act.PushGtpu):
+                gtpu_encap(pkt, action.teid, action.tunnel_src, action.tunnel_dst)
+            elif isinstance(action, act.PopGtpu):
+                gtpu_decap(pkt)
+            else:
+                raise PipelineError(f"unknown action {action!r}")
+        # Action list exhausted without a terminal action: implicit drop.
+        self.stats["dropped"] += 1
+
+    def _punt(self, pkt: Packet, in_port: Optional[str], table_id: int,
+              reason: str) -> None:
+        self.stats["to_controller"] += 1
+        if self._controller is not None:
+            self._controller(PacketIn(packet=pkt, in_port=in_port,
+                                      table_id=table_id, reason=reason))
+        else:
+            self.stats["dropped"] += 1
+
+    # -- fluid execution -------------------------------------------------------------
+
+    def evaluate_fluid(self, representative: Packet, in_port: str,
+                       offered_mbps: float) -> Tuple[float, List[Any]]:
+        """Classify once and compute the admitted rate for a fluid flow.
+
+        Returns ``(admitted_mbps, cookie_chain)`` where ``cookie_chain``
+        lists the cookies of the rules traversed (for accounting
+        attribution).  Table misses and Drop actions admit 0.
+        """
+        if offered_mbps < 0:
+            raise ValueError("offered rate must be >= 0")
+        admitted = offered_mbps
+        cookies: List[Any] = []
+        table_id = 0
+        steps = 0
+        pkt = representative.copy()
+        port: Optional[str] = in_port
+        while True:
+            if steps > MAX_PIPELINE_STEPS:
+                raise PipelineError("pipeline loop detected")
+            table = self._table(table_id)
+            rule = table.lookup(pkt, port)
+            if rule is None:
+                return 0.0, cookies
+            cookies.append(rule.cookie)
+            advanced = False
+            for action in rule.actions:
+                if isinstance(action, act.Drop):
+                    return 0.0, cookies
+                if isinstance(action, act.Output):
+                    if action.port not in self._ports:
+                        return 0.0, cookies
+                    return admitted, cookies
+                if isinstance(action, act.ToController):
+                    return 0.0, cookies
+                if isinstance(action, act.GotoTable):
+                    table_id = action.table_id
+                    steps += 1
+                    advanced = True
+                    break
+                if isinstance(action, act.SetRegister):
+                    pkt.metadata[action.register] = action.value
+                elif isinstance(action, act.SetDscp):
+                    ip = pkt.inner_ip()
+                    if ip is not None:
+                        ip.dscp = action.dscp
+                elif isinstance(action, act.Meter):
+                    meter = self.meters.get(action.meter_id)
+                    if meter is None:
+                        raise PipelineError(f"rule references missing meter "
+                                            f"{action.meter_id}")
+                    admitted = meter.shape(admitted)
+                elif isinstance(action, act.PushGtpu):
+                    gtpu_encap(pkt, action.teid, action.tunnel_src,
+                               action.tunnel_dst)
+                elif isinstance(action, act.PopGtpu):
+                    gtpu_decap(pkt)
+                else:
+                    raise PipelineError(f"unknown action {action!r}")
+            if not advanced:
+                return 0.0, cookies  # implicit drop
+
+    def record_fluid_usage(self, cookie: Any, mbps: float, duration: float) -> None:
+        """Attribute fluid throughput to the rules with ``cookie`` (stats)."""
+        byte_count = int(mbps * 1e6 / 8.0 * duration)
+        for table in self.tables:
+            for rule in table.find_by_cookie(cookie):
+                rule.stats.bytes += byte_count
+                rule.stats.fluid_byte_seconds += mbps * duration

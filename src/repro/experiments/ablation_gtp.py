@@ -1,0 +1,137 @@
+"""Ablation: local GTP termination vs GTP over the backhaul (§3.1).
+
+Two architectures face the same backhaul outage:
+
+- **Baseline**: the monolithic EPC sits across the backhaul.  The GTP path
+  between the cell site and the core fails during the outage; the core
+  tears down every session at the site, and UEs with fragile basebands
+  wedge until power-cycled ("a confusing lack of coverage").
+- **Magma**: GTP terminates inside the on-site AGW; only the AGW-to-
+  orchestrator link (gRPC-style, retrying) crosses the backhaul.  Sessions
+  and UEs never see a GTP failure; the AGW merely runs headless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..baseline import EpcConfig, MonolithicEpc
+from ..core.agw import AccessGateway, AgwConfig, SubscriberProfile
+from ..core.orchestrator import Orchestrator
+from ..lte import Enodeb, Ue, UeConfig, UeState, make_imsi
+from ..lte.gtp import GtpcEndpoint
+from ..net import Link, Network, backhaul
+from ..sim import RngRegistry, Simulator
+from .common import format_table, subscriber_keys
+
+
+@dataclass
+class GtpAblationResult:
+    num_ues: int
+    fragile_fraction: float
+    outage_seconds: float
+    baseline_sessions_lost: int
+    baseline_stuck_ues: int
+    magma_sessions_lost: int
+    magma_stuck_ues: int
+
+    def rows(self) -> List[List[object]]:
+        return [
+            ["baseline EPC (GTP over backhaul)", self.baseline_sessions_lost,
+             self.baseline_stuck_ues],
+            ["Magma (GTP terminated at AGW)", self.magma_sessions_lost,
+             self.magma_stuck_ues],
+        ]
+
+    def render(self) -> str:
+        header = (f"GTP-termination ablation: {self.num_ues} UEs "
+                  f"({self.fragile_fraction * 100:.0f}% fragile basebands), "
+                  f"{self.outage_seconds:.0f}s backhaul outage\n")
+        return header + format_table(
+            ["architecture", "sessions_lost", "ues_stuck"], self.rows())
+
+
+def _attach_all(sim, ues, limit=600.0):
+    for ue in ues:
+        done = ue.attach()
+        outcome = sim.run_until_triggered(done, limit=sim.now + limit)
+        if not outcome.success:
+            raise RuntimeError(f"setup attach failed: {outcome.cause}")
+    sim.run(until=sim.now + 3.0)
+
+
+def run_gtp_ablation(num_ues: int = 12, fragile_fraction: float = 0.5,
+                     outage_seconds: float = 60.0,
+                     seed: int = 0) -> GtpAblationResult:
+    fragile_count = int(num_ues * fragile_fraction)
+
+    def make_ues(sim, enb, provision):
+        ues = []
+        for i in range(num_ues):
+            imsi = make_imsi(i + 1)
+            k, opc = subscriber_keys(i + 1)
+            provision(imsi, k, opc)
+            fragile = i < fragile_count
+            ues.append(Ue(sim, imsi, k, opc, enb,
+                          config=UeConfig(fragile_baseband=fragile)))
+        return ues
+
+    # ---- Baseline: EPC across the backhaul -----------------------------------
+    sim_b = Simulator()
+    net_b = Network(sim_b, RngRegistry(seed))
+    epc = MonolithicEpc(sim_b, net_b, "epc",
+                        config=EpcConfig(gtp_echo_interval=5.0),
+                        rng=RngRegistry(seed))
+    net_b.connect("site", "epc", backhaul.satellite())
+    enb_b = Enodeb(sim_b, net_b, "site", "epc")
+    enb_gtp = GtpcEndpoint(sim_b, net_b, "site")
+    enb_gtp.set_path_failure_callback(
+        lambda peer: enb_b.s1_path_failure("gtp path failure"))
+    enb_gtp.start_path_monitor("epc", interval=5.0)
+    ues_b = make_ues(sim_b, enb_b,
+                     lambda imsi, k, opc: epc.provision(
+                         SubscriberProfile(imsi=imsi, k=k, opc=opc)))
+    enb_b.s1_setup()
+    sim_b.run(until=sim_b.now + 5.0)
+    _attach_all(sim_b, ues_b)
+    sessions_before_b = epc.session_count()
+    net_b.set_node_up("site", False)
+    sim_b.run(until=sim_b.now + outage_seconds)
+    net_b.set_node_up("site", True)
+    sim_b.run(until=sim_b.now + 30.0)
+    baseline_lost = sessions_before_b - epc.session_count()
+    baseline_stuck = sum(1 for ue in ues_b if ue.state == UeState.STUCK)
+
+    # ---- Magma: AGW at the site, orchestrator across the backhaul -------------
+    sim_m = Simulator()
+    net_m = Network(sim_m, RngRegistry(seed))
+    orc = Orchestrator(sim_m, net_m, "orc")
+    net_m.connect("agw-1", "orc", backhaul.satellite())
+    agw = AccessGateway(sim_m, net_m, "agw-1", config=AgwConfig(),
+                        orchestrator_node="orc", rng=RngRegistry(seed))
+    net_m.connect("enb-1", "agw-1", backhaul.lan())
+    enb_m = Enodeb(sim_m, net_m, "enb-1", "agw-1")
+    ues_m = make_ues(sim_m, enb_m,
+                     lambda imsi, k, opc: agw.subscriberdb.upsert(
+                         SubscriberProfile(imsi=imsi, k=k, opc=opc)))
+    agw.start()
+    enb_m.s1_setup()
+    sim_m.run(until=sim_m.now + 5.0)
+    _attach_all(sim_m, ues_m)
+    sessions_before_m = agw.sessiond.session_count()
+    # The same outage: the backhaul (AGW <-> orchestrator) goes dark.
+    net_m.set_node_up("orc", False)
+    sim_m.run(until=sim_m.now + outage_seconds)
+    net_m.set_node_up("orc", True)
+    sim_m.run(until=sim_m.now + 30.0)
+    magma_lost = sessions_before_m - agw.sessiond.session_count()
+    magma_stuck = sum(1 for ue in ues_m if ue.state == UeState.STUCK)
+
+    return GtpAblationResult(
+        num_ues=num_ues, fragile_fraction=fragile_fraction,
+        outage_seconds=outage_seconds,
+        baseline_sessions_lost=baseline_lost,
+        baseline_stuck_ues=baseline_stuck,
+        magma_sessions_lost=magma_lost,
+        magma_stuck_ues=magma_stuck)

@@ -1,0 +1,78 @@
+"""NGAP messages: the gNB <-> AMF control interface (5G's S1AP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+NGAP_SERVICE = "ngap"
+GNB_NGAP_SERVICE = "ngap-gnb"
+
+
+@dataclass(frozen=True)
+class NgSetupRequest:
+    gnb_id: str
+    plmn: str = "00101"
+
+
+@dataclass(frozen=True)
+class NgSetupResponse:
+    amf_name: str
+    accepted: bool = True
+
+
+@dataclass(frozen=True)
+class InitialUeMessage5g:
+    gnb_id: str
+    ran_ue_id: int
+    nas: Any = None
+
+
+@dataclass(frozen=True)
+class UplinkNasTransport5g:
+    gnb_id: str
+    ran_ue_id: int
+    amf_ue_id: int
+    nas: Any = None
+
+
+@dataclass(frozen=True)
+class DownlinkNasTransport5g:
+    ran_ue_id: int
+    amf_ue_id: int
+    nas: Any = None
+
+
+@dataclass(frozen=True)
+class PduSessionResourceSetupRequest:
+    """AMF/SMF instructs the gNB to set up the user-plane resources."""
+
+    ran_ue_id: int
+    amf_ue_id: int
+    pdu_session_id: int
+    agw_teid: int
+    agw_address: str
+    nas: Any = None   # piggybacked PduSessionEstablishmentAccept
+
+
+@dataclass(frozen=True)
+class PduSessionResourceSetupResponse:
+    ran_ue_id: int
+    amf_ue_id: int
+    pdu_session_id: int
+    gnb_teid: int
+    gnb_address: str = ""
+    success: bool = True
+
+
+@dataclass(frozen=True)
+class UeContextReleaseCommand5g:
+    ran_ue_id: int
+    amf_ue_id: int
+    cause: str = "deregistration"
+
+
+@dataclass(frozen=True)
+class UeContextReleaseComplete5g:
+    ran_ue_id: int
+    amf_ue_id: int

@@ -1,0 +1,208 @@
+"""5G UE model: registration then PDU session establishment.
+
+Unlike the LTE UE, a 5G UE performs two separate procedures: it first
+*registers* (authentication + security), then establishes a *PDU session*
+to get an IP and user plane.  Both are driven against the same AGW generic
+functions via the NGAP frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..lte import auth
+from ..sim.kernel import Event, Simulator
+from . import nas5g
+
+DEFAULT_GUARD_TIMER = 15.0
+
+
+class Ue5gState:
+    DEREGISTERED = "deregistered"
+    REGISTERING = "registering"
+    REGISTERED = "registered"            # no PDU session yet
+    SESSION_PENDING = "session-pending"
+    SESSION_ACTIVE = "session-active"
+    STUCK = "stuck"
+
+
+class Ue5g:
+    """A simulated 5G UE."""
+
+    def __init__(self, sim: Simulator, imsi: str, k: bytes, opc: bytes,
+                 gnb: "Gnb", radio_delay: float = 0.02,
+                 guard_timer: float = DEFAULT_GUARD_TIMER,
+                 fragile_baseband: bool = False):
+        self.sim = sim
+        self.imsi = imsi
+        self.k = k
+        self.opc = opc
+        self.gnb = gnb
+        self.radio_delay = radio_delay
+        self.guard_timer = guard_timer
+        self.fragile_baseband = fragile_baseband
+        self.state = Ue5gState.DEREGISTERED
+        self.usim_sqn = 0
+        self.ip_address: Optional[str] = None
+        self.guti_5g: Optional[str] = None
+        self.offered_mbps = 0.0
+        self._procedure_done: Optional[Event] = None
+        self.stats = {"registrations": 0, "registration_failures": 0,
+                      "pdu_sessions": 0, "pdu_failures": 0,
+                      "session_errors": 0}
+
+    # -- procedures ---------------------------------------------------------------
+
+    def register(self) -> Event:
+        """Run the registration procedure; event value is True/False."""
+        result = self.sim.event(f"ue5g.{self.imsi}.register")
+        if self.state not in (Ue5gState.DEREGISTERED,):
+            result.succeed(False)
+            return result
+        self.state = Ue5gState.REGISTERING
+        self._procedure_done = self.sim.event("reg-inner")
+        self.sim.spawn(self._run_procedure(
+            result, nas5g.RegistrationRequest(imsi=self.imsi),
+            success_state=Ue5gState.REGISTERED,
+            failure_state=Ue5gState.DEREGISTERED,
+            success_counter="registrations",
+            failure_counter="registration_failures"),
+            name=f"5g-register:{self.imsi}")
+        return result
+
+    def establish_pdu_session(self) -> Event:
+        """Run PDU session establishment; event value is True/False."""
+        result = self.sim.event(f"ue5g.{self.imsi}.pdu")
+        if self.state != Ue5gState.REGISTERED:
+            result.succeed(False)
+            return result
+        self.state = Ue5gState.SESSION_PENDING
+        self._procedure_done = self.sim.event("pdu-inner")
+        self.sim.spawn(self._run_procedure(
+            result, nas5g.PduSessionEstablishmentRequest(imsi=self.imsi),
+            success_state=Ue5gState.SESSION_ACTIVE,
+            failure_state=Ue5gState.REGISTERED,
+            success_counter="pdu_sessions",
+            failure_counter="pdu_failures",
+            connect=False),
+            name=f"5g-pdu:{self.imsi}")
+        return result
+
+    def release_pdu_session(self) -> Event:
+        """Tear down the PDU session but stay registered (5G split)."""
+        result = self.sim.event(f"ue5g.{self.imsi}.pdu_release")
+        if self.state != Ue5gState.SESSION_ACTIVE:
+            result.succeed(False)
+            return result
+        self.state = Ue5gState.SESSION_PENDING
+        self._procedure_done = self.sim.event("pdu-release-inner")
+        self.sim.spawn(self._run_procedure(
+            result, nas5g.PduSessionReleaseRequest(imsi=self.imsi),
+            success_state=Ue5gState.REGISTERED,
+            failure_state=Ue5gState.REGISTERED,
+            success_counter="pdu_sessions",   # reuse counter bucket
+            failure_counter="pdu_failures",
+            connect=False),
+            name=f"5g-pdu-release:{self.imsi}")
+        result.add_callback(lambda ev: setattr(self, "ip_address", None)
+                            if ev.value else None)
+        return result
+
+    def deregister(self) -> None:
+        if self.state in (Ue5gState.DEREGISTERED, Ue5gState.STUCK):
+            return
+        self._send_nas(nas5g.DeregistrationRequest(imsi=self.imsi,
+                                                   switch_off=True))
+        self.ip_address = None
+        self.gnb.rrc_release(self)
+        self.state = Ue5gState.DEREGISTERED
+
+    def set_offered_rate(self, mbps: float) -> None:
+        if mbps < 0:
+            raise ValueError("offered rate must be >= 0")
+        self.offered_mbps = mbps
+        if self.state == Ue5gState.SESSION_ACTIVE:
+            self.gnb.set_ue_offered_rate(self.imsi, mbps)
+
+    def notify_session_error(self, cause: str = "") -> None:
+        self.stats["session_errors"] += 1
+        self.ip_address = None
+        self.gnb.rrc_release(self)
+        self.state = (Ue5gState.STUCK if self.fragile_baseband
+                      else Ue5gState.DEREGISTERED)
+
+    # -- NAS handling -----------------------------------------------------------------
+
+    def deliver_nas(self, message: Any) -> None:
+        if isinstance(message, nas5g.AuthenticationRequest5g):
+            self._on_auth_request(message)
+        elif isinstance(message, nas5g.SecurityModeCommand5g):
+            self._send_nas(nas5g.SecurityModeComplete5g(imsi=self.imsi))
+        elif isinstance(message, nas5g.RegistrationAccept):
+            self.guti_5g = message.guti_5g
+            self._send_nas(nas5g.RegistrationComplete(imsi=self.imsi))
+            self._finish(True)
+        elif isinstance(message, nas5g.RegistrationReject):
+            self._finish(False)
+        elif isinstance(message, nas5g.PduSessionEstablishmentAccept):
+            self.ip_address = message.ue_ip
+            self._finish(True)
+        elif isinstance(message, nas5g.PduSessionEstablishmentReject):
+            self._finish(False)
+        elif isinstance(message, nas5g.PduSessionReleaseComplete):
+            self._finish(True)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _run_procedure(self, result: Event, initial_message: Any,
+                       success_state: str, failure_state: str,
+                       success_counter: str, failure_counter: str,
+                       connect: bool = True):
+        if connect:
+            try:
+                self.gnb.rrc_connect(self)
+            except Exception:
+                self.state = failure_state
+                self.stats[failure_counter] += 1
+                result.succeed(False)
+                return
+        inner = self._procedure_done
+        self._send_nas(initial_message)
+        guard = self.sim.timeout(self.guard_timer)
+        try:
+            race = yield self.sim.any_of([inner, guard])
+        except Exception:
+            race = {}
+        ok = inner in race and inner.value is True
+        if ok:
+            self.state = success_state
+            self.stats[success_counter] += 1
+            if (success_state == Ue5gState.SESSION_ACTIVE
+                    and self.offered_mbps > 0):
+                self.gnb.set_ue_offered_rate(self.imsi, self.offered_mbps)
+        else:
+            self.state = failure_state
+            self.stats[failure_counter] += 1
+            if failure_state == Ue5gState.DEREGISTERED:
+                self.gnb.rrc_release(self)
+        result.succeed(ok)
+
+    def _on_auth_request(self, message: nas5g.AuthenticationRequest5g) -> None:
+        try:
+            network_sqn = auth.usim_verify_autn(
+                self.k, self.opc, message.rand, message.autn, self.usim_sqn)
+        except auth.AuthenticationFailure:
+            self._finish(False)
+            return
+        self.usim_sqn = network_sqn
+        res = auth.usim_compute_res(self.k, self.opc, message.rand)
+        self._send_nas(nas5g.AuthenticationResponse5g(imsi=self.imsi,
+                                                      res_star=res))
+
+    def _finish(self, ok: bool) -> None:
+        if self._procedure_done is not None and \
+                not self._procedure_done.triggered:
+            self._procedure_done.succeed(ok)
+
+    def _send_nas(self, message: Any) -> None:
+        self.gnb.uplink_nas(self, message)

@@ -1,0 +1,36 @@
+"""LTE substrate: UEs, eNodeBs, NAS/S1AP, EPS-AKA, GTP-C, radio capacity."""
+
+from . import auth, gtp, nas, s1ap
+from .enodeb import ENB_S1AP_SERVICE, Enodeb, UeContext
+from .identifiers import EcgI, Tai, TeidAllocator, TEST_PLMN, make_imsi, validate_imsi
+from .radio import (
+    CellCapacityError,
+    CellConfig,
+    CellModel,
+    max_min_share,
+)
+from .ue import AttachOutcome, Ue, UeConfig, UeState
+
+__all__ = [
+    "AttachOutcome",
+    "CellCapacityError",
+    "CellConfig",
+    "CellModel",
+    "EcgI",
+    "ENB_S1AP_SERVICE",
+    "Enodeb",
+    "Tai",
+    "TeidAllocator",
+    "TEST_PLMN",
+    "Ue",
+    "UeConfig",
+    "UeContext",
+    "UeState",
+    "auth",
+    "gtp",
+    "make_imsi",
+    "max_min_share",
+    "nas",
+    "s1ap",
+    "validate_imsi",
+]

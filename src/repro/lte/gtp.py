@@ -1,0 +1,198 @@
+"""GTP-C: the 3GPP tunnel control protocol (baseline architecture).
+
+GTP-C runs over UDP with a fixed retry budget (3GPP TS 29.274: retransmit
+after T3 seconds, at most N3 times, then declare failure) and keeps tunnel
+paths alive with periodic echo requests.  This is the protocol the paper
+singles out (§3.1) as "sensitive to loss and latency to the point that it
+struggles to operate over lower quality or congested backhaul links".
+
+In the *baseline* monolithic EPC, GTP-C crosses the backhaul between the
+RAN site and the remote core, so path failures tear down every session on
+the path - and fragile UEs never recover without a power cycle.  In Magma,
+GTP is terminated inside the AGW at the cell site and never experiences
+backhaul loss; this module is what the ablation in
+``repro.experiments.ablation_gtp`` compares against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..net.simnet import Network
+from ..net.transport import DatagramSocket
+from ..sim.kernel import Event, Simulator
+
+GTPC_PORT = 2123
+DEFAULT_T3 = 3.0   # retransmission timer (seconds)
+DEFAULT_N3 = 3     # max retransmissions
+DEFAULT_ECHO_INTERVAL = 60.0
+
+
+class GtpTimeout(Exception):
+    """A GTP-C request exhausted its N3 retransmissions."""
+
+
+@dataclass(frozen=True)
+class EchoRequest:
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class EchoResponse:
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class CreateSessionRequest:
+    imsi: str
+    sender_teid: int
+    bearer_id: int = 5
+    apn: str = "internet"
+
+
+@dataclass(frozen=True)
+class CreateSessionResponse:
+    imsi: str
+    ue_ip: str
+    sender_teid: int
+    cause: str = "accepted"
+
+
+@dataclass(frozen=True)
+class ModifyBearerRequest:
+    imsi: str
+    bearer_id: int
+    enb_teid: int
+    enb_address: str
+
+
+@dataclass(frozen=True)
+class ModifyBearerResponse:
+    imsi: str
+    cause: str = "accepted"
+
+
+@dataclass(frozen=True)
+class DeleteSessionRequest:
+    imsi: str
+    bearer_id: int = 5
+
+
+@dataclass(frozen=True)
+class DeleteSessionResponse:
+    imsi: str
+    cause: str = "accepted"
+
+
+class GtpcEndpoint:
+    """One GTP-C protocol endpoint (e.g. an SGW-facing MME, or a PGW)."""
+
+    def __init__(self, sim: Simulator, network: Network, node: str,
+                 port: int = GTPC_PORT, t3: float = DEFAULT_T3,
+                 n3: int = DEFAULT_N3):
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.port = port
+        self.t3 = t3
+        self.n3 = n3
+        self._seq = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        self._handlers: Dict[type, Callable[[Any, str], Any]] = {}
+        self._path_monitors: Dict[str, bool] = {}  # peer -> active
+        self._on_path_failure: Optional[Callable[[str], None]] = None
+        self.stats = {"requests": 0, "responses": 0, "retransmits": 0,
+                      "timeouts": 0, "echo_sent": 0, "echo_lost": 0,
+                      "path_failures": 0}
+        self._socket = DatagramSocket(network, node, port, self._on_datagram)
+
+    # -- request/response ---------------------------------------------------------
+
+    def register_handler(self, message_type: type,
+                         handler: Callable[[Any, str], Any]) -> None:
+        """``handler(request, peer) -> response`` for a request type."""
+        self._handlers[message_type] = handler
+
+    def set_path_failure_callback(self, cb: Callable[[str], None]) -> None:
+        self._on_path_failure = cb
+
+    def send_request(self, peer: str, request: Any) -> Event:
+        """Send with T3/N3 retransmission; event fails with GtpTimeout."""
+        seq = next(self._seq)
+        done = self.sim.event(f"gtpc.{self.node}.req{seq}")
+        self._pending[seq] = done
+        self.stats["requests"] += 1
+        self._transmit(peer, seq, request, attempt=0)
+        return done
+
+    def _transmit(self, peer: str, seq: int, request: Any, attempt: int) -> None:
+        if seq not in self._pending:
+            return
+        if attempt > self.n3:
+            done = self._pending.pop(seq)
+            self.stats["timeouts"] += 1
+            if not done.triggered:
+                done.fail(GtpTimeout(f"no response from {peer} after "
+                                     f"{self.n3} retransmissions"))
+            return
+        if attempt > 0:
+            self.stats["retransmits"] += 1
+        self._socket.send(peer, self.port, ("request", seq, request))
+        self.sim.schedule(self.t3, self._transmit, peer, seq, request,
+                          attempt + 1)
+
+    # -- path management (echo) ----------------------------------------------------
+
+    def start_path_monitor(self, peer: str,
+                           interval: float = DEFAULT_ECHO_INTERVAL) -> None:
+        """Send periodic echoes; declare path failure when one times out."""
+        if self._path_monitors.get(peer):
+            return
+        self._path_monitors[peer] = True
+        self.sim.spawn(self._echo_loop(peer, interval),
+                       name=f"gtpc-echo:{self.node}->{peer}")
+
+    def stop_path_monitor(self, peer: str) -> None:
+        self._path_monitors[peer] = False
+
+    def _echo_loop(self, peer: str, interval: float):
+        while self._path_monitors.get(peer):
+            yield self.sim.timeout(interval)
+            if not self._path_monitors.get(peer):
+                return
+            self.stats["echo_sent"] += 1
+            try:
+                yield self.send_request(peer, EchoRequest())
+            except GtpTimeout:
+                self.stats["echo_lost"] += 1
+                self.stats["path_failures"] += 1
+                self._path_monitors[peer] = False
+                if self._on_path_failure is not None:
+                    self._on_path_failure(peer)
+                return
+
+    # -- receive path ------------------------------------------------------------------
+
+    def _on_datagram(self, payload: Any, src: str, port: int) -> None:
+        kind, seq, body = payload
+        if kind == "request":
+            if isinstance(body, EchoRequest):
+                response: Any = EchoResponse(seq=seq)
+            else:
+                handler = self._handlers.get(type(body))
+                if handler is None:
+                    return  # unknown message: silently dropped, like real GTP
+                response = handler(body, src)
+            if response is not None:
+                self._socket.send(src, self.port, ("response", seq, response))
+        elif kind == "response":
+            done = self._pending.pop(seq, None)
+            if done is not None and not done.triggered:
+                self.stats["responses"] += 1
+                done.succeed(body)
+
+    def close(self) -> None:
+        self._socket.close()
+        self._path_monitors.clear()

@@ -1,0 +1,61 @@
+"""Identifiers used across the LTE substrate and the core.
+
+IMSI strings, TEID and bearer-id allocation, and the PLMN conventions the
+test network uses (MCC 001 / MNC 01, the 3GPP test network).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+TEST_PLMN = "00101"
+
+
+def make_imsi(index: int, plmn: str = TEST_PLMN) -> str:
+    """Build a 15-digit IMSI from a subscriber index (deterministic)."""
+    if index < 0:
+        raise ValueError("subscriber index must be >= 0")
+    msin = f"{index:0{15 - len(plmn)}d}"
+    if len(plmn) + len(msin) != 15:
+        raise ValueError("PLMN too long for a 15-digit IMSI")
+    return plmn + msin
+
+
+def validate_imsi(imsi: str) -> str:
+    """Return ``imsi`` if well-formed, else raise ValueError."""
+    if not imsi.isdigit() or len(imsi) != 15:
+        raise ValueError(f"malformed IMSI {imsi!r} (need 15 digits)")
+    return imsi
+
+
+class TeidAllocator:
+    """Allocates unique GTP tunnel endpoint ids within one endpoint."""
+
+    def __init__(self, start: int = 0x1000):
+        self._counter = itertools.count(start)
+        self._released: list = []
+
+    def allocate(self) -> int:
+        if self._released:
+            return self._released.pop()
+        return next(self._counter)
+
+    def release(self, teid: int) -> None:
+        self._released.append(teid)
+
+
+@dataclass(frozen=True)
+class Tai:
+    """Tracking area identity."""
+
+    plmn: str = TEST_PLMN
+    tac: int = 1
+
+
+@dataclass(frozen=True)
+class EcgI:
+    """E-UTRAN cell global identifier."""
+
+    plmn: str = TEST_PLMN
+    cell_id: int = 0

@@ -1,0 +1,360 @@
+"""UE (user equipment) model: the LTE attach/detach state machine.
+
+The UE drives the NAS dialogue end-to-end: attach request, EPS-AKA
+challenge response, security mode, attach accept/complete.  Its guard timer
+(T3410) defines what a *failed connection attempt* means for the paper's
+connection success rate (CSR) metric.
+
+The ``fragile_baseband`` flag models the low-end basebands described in
+§3.1: when such a UE experiences a session-level protocol failure (e.g. its
+GTP tunnel collapsing over bad backhaul in the *baseline* architecture), it
+does not recover until power-cycled - the "confusing lack of coverage" the
+paper describes, and the behaviour Magma's local GTP termination shields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim.kernel import Event, Simulator
+from . import auth, nas
+
+
+class UeState:
+    DEREGISTERED = "deregistered"
+    ATTACHING = "attaching"
+    REGISTERED = "registered"
+    IDLE = "idle"    # ECM-IDLE: session anchored, radio context released
+    STUCK = "stuck"  # fragile baseband wedged by a protocol failure
+
+
+@dataclass
+class UeConfig:
+    attach_guard_timer: float = nas.T3410_ATTACH
+    fragile_baseband: bool = False
+    radio_delay: float = 0.02  # one-way UE <-> eNodeB signaling delay
+
+
+class AttachOutcome:
+    """Result record for one attach attempt."""
+
+    __slots__ = ("success", "latency", "cause")
+
+    def __init__(self, success: bool, latency: float, cause: str = ""):
+        self.success = success
+        self.latency = latency
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.success else f"failed({self.cause})"
+        return f"<AttachOutcome {status} {self.latency:.2f}s>"
+
+
+class Ue:
+    """A simulated LTE UE with a USIM."""
+
+    def __init__(self, sim: Simulator, imsi: str, k: bytes, opc: bytes,
+                 enb: "Enodeb", config: Optional[UeConfig] = None):
+        self.sim = sim
+        self.imsi = imsi
+        self.k = k
+        self.opc = opc
+        self.enb = enb
+        self.config = config or UeConfig()
+        self.state = UeState.DEREGISTERED
+        self.usim_sqn = 0
+        self.ip_address: Optional[str] = None
+        self.bearer_id: Optional[int] = None
+        self.guti: Optional[str] = None
+        self.kasme: Optional[bytes] = None
+        self.offered_mbps = 0.0
+        self._attach_done: Optional[Event] = None
+        self._attach_started_at = 0.0
+        self._last_rand: Optional[bytes] = None
+        self.stats = {"attach_attempts": 0, "attach_successes": 0,
+                      "attach_failures": 0, "session_errors": 0,
+                      "power_cycles": 0}
+
+    # -- public API --------------------------------------------------------------
+
+    def attach(self) -> Event:
+        """Start one attach attempt.
+
+        Returns an event that *succeeds* with an :class:`AttachOutcome`
+        whether the attempt worked or not (callers inspect ``.success``);
+        this keeps CSR accounting simple.
+        """
+        result = self.sim.event(f"ue.{self.imsi}.attach")
+        if self.state == UeState.STUCK:
+            result.succeed(AttachOutcome(False, 0.0, "baseband stuck"))
+            return result
+        if self.state != UeState.DEREGISTERED:
+            result.succeed(AttachOutcome(False, 0.0,
+                                         f"bad state {self.state}"))
+            return result
+        self.stats["attach_attempts"] += 1
+        self.state = UeState.ATTACHING
+        self._attach_started_at = self.sim.now
+        self._attach_done = self.sim.event(f"ue.{self.imsi}.attach_inner")
+        self.sim.spawn(self._attach_procedure(result),
+                       name=f"attach:{self.imsi}")
+        return result
+
+    def detach(self, switch_off: bool = True) -> Event:
+        """Detach from the network.
+
+        ``switch_off=True`` (default) is the power-off style: fire and
+        forget.  ``switch_off=False`` is a graceful detach - the UE waits
+        for the network's DetachAccept (or a short guard timer).  The
+        returned event succeeds with True once the UE is deregistered.
+        """
+        done = self.sim.event(f"ue.{self.imsi}.detach")
+        if self.state != UeState.REGISTERED:
+            done.succeed(False)
+            return done
+        self._send_nas(nas.DetachRequest(imsi=self.imsi,
+                                         switch_off=switch_off))
+        if switch_off:
+            self._clear_session()
+            self.state = UeState.DEREGISTERED
+            done.succeed(True)
+            return done
+        self._detach_done = done
+
+        def guard(sim):
+            yield sim.timeout(5.0)
+            if not done.triggered:
+                # Never heard back: detach locally anyway (3GPP behaviour).
+                self._finish_detach()
+
+        self.sim.spawn(guard(self.sim), name=f"detach-guard:{self.imsi}")
+        return done
+
+    def _finish_detach(self) -> None:
+        self._clear_session()
+        self.state = UeState.DEREGISTERED
+        done = getattr(self, "_detach_done", None)
+        if done is not None and not done.triggered:
+            done.succeed(True)
+
+    def set_offered_rate(self, mbps: float) -> None:
+        """Offered downlink traffic rate while registered."""
+        if mbps < 0:
+            raise ValueError("offered rate must be >= 0")
+        self.offered_mbps = mbps
+        if self.state == UeState.REGISTERED:
+            self.enb.set_ue_offered_rate(self.imsi, mbps)
+
+    def go_idle(self) -> None:
+        """Enter ECM-IDLE: the radio context is released, the session (IP,
+        policy state) stays anchored at the AGW.  The UE camps on the cell
+        and can be paged."""
+        if self.state != UeState.REGISTERED:
+            return
+        self.enb.release_to_idle(self)
+        self.state = UeState.IDLE
+
+    def service_request(self) -> Event:
+        """Return from idle to connected (UE-originated data, or paging).
+
+        The returned event succeeds with True once the network re-
+        establishes the radio context and bearer.
+        """
+        result = self.sim.event(f"ue.{self.imsi}.service_request")
+        if self.state != UeState.IDLE:
+            result.succeed(False)
+            return result
+
+        def proc(sim):
+            try:
+                self.enb.rrc_connect(self)
+            except Exception:
+                result.succeed(False)
+                return
+            self._sr_done = self.sim.event("sr-inner")
+            self._send_nas(nas.ServiceRequest(imsi=self.imsi))
+            guard = self.sim.timeout(10.0)
+            race = yield self.sim.any_of([self._sr_done, guard])
+            if self._sr_done in race:
+                self.state = UeState.REGISTERED
+                if self.offered_mbps > 0:
+                    self.enb.set_ue_offered_rate(self.imsi,
+                                                 self.offered_mbps)
+                result.succeed(True)
+            else:
+                self.enb.rrc_release(self)
+                self.state = UeState.IDLE
+                result.succeed(False)
+
+        self.sim.spawn(proc(self.sim), name=f"service-req:{self.imsi}")
+        return result
+
+    def on_paged(self) -> None:
+        """The network paged us: downlink data is waiting."""
+        if self.state == UeState.IDLE:
+            self.service_request()
+
+    def handover_to(self, target_enb) -> Event:
+        """Move to another radio behind the *same* AGW (§3.2 mobility).
+
+        The session (IP address, policy, usage counters) stays anchored at
+        the AGW; only the RAN-side tunnel switches.  The returned event
+        succeeds with True/False.
+        """
+        result = self.sim.event(f"ue.{self.imsi}.handover")
+        if self.state != UeState.REGISTERED:
+            result.succeed(False)
+            return result
+        source_enb = self.enb
+        source_context = source_enb.context_for(self.imsi)
+        if source_context is None or source_context.mme_ue_id is None:
+            result.succeed(False)
+            return result
+        try:
+            ack_event = target_enb.handover_in(self,
+                                               source_context.mme_ue_id)
+        except Exception:
+            result.succeed(False)
+            return result
+
+        def proc(sim):
+            try:
+                ack = yield ack_event
+            except Exception:
+                target_enb.rrc_release(self)
+                result.succeed(False)
+                return
+            if ack.success:
+                source_enb.rrc_release(self)
+                self.enb = target_enb
+                if self.offered_mbps > 0:
+                    target_enb.set_ue_offered_rate(self.imsi,
+                                                   self.offered_mbps)
+                result.succeed(True)
+            else:
+                target_enb.rrc_release(self)
+                result.succeed(False)
+
+        self.sim.spawn(proc(self.sim), name=f"handover:{self.imsi}")
+        return result
+
+    def notify_session_error(self, cause: str = "") -> None:
+        """The network lost this UE's session (e.g. GTP path failure)."""
+        self.stats["session_errors"] += 1
+        self._clear_session()
+        if self.config.fragile_baseband:
+            self.state = UeState.STUCK
+        else:
+            self.state = UeState.DEREGISTERED
+        if self._attach_done is not None and not self._attach_done.triggered:
+            self._attach_done.fail(RuntimeError(cause or "session error"))
+
+    def power_cycle(self) -> None:
+        """Operator/user power cycles the device, clearing a stuck baseband."""
+        self.stats["power_cycles"] += 1
+        self._clear_session()
+        self.state = UeState.DEREGISTERED
+
+    @property
+    def is_registered(self) -> bool:
+        return self.state == UeState.REGISTERED
+
+    # -- NAS receive path -----------------------------------------------------------
+
+    def deliver_nas(self, message: Any) -> None:
+        """Downlink NAS delivery (called by the eNodeB after radio delay)."""
+        if isinstance(message, nas.AuthenticationRequest):
+            self._on_auth_request(message)
+        elif isinstance(message, nas.SecurityModeCommand):
+            self._send_nas(nas.SecurityModeComplete(imsi=self.imsi))
+        elif isinstance(message, nas.AttachAccept):
+            self._on_attach_accept(message)
+        elif isinstance(message, (nas.AttachReject, nas.AuthenticationReject)):
+            if self._attach_done is not None and not self._attach_done.triggered:
+                self._attach_done.fail(RuntimeError(message.cause))
+        elif isinstance(message, nas.DetachAccept):
+            self._finish_detach()
+        elif isinstance(message, nas.ServiceAccept):
+            done = getattr(self, "_sr_done", None)
+            if done is not None and not done.triggered:
+                done.succeed(True)
+        # Unknown downlink NAS is ignored (forward compatibility).
+
+    # -- internals ----------------------------------------------------------------
+
+    def _attach_procedure(self, result: Event):
+        try:
+            self.enb.rrc_connect(self)
+        except Exception as exc:  # cell full, eNB down, ...
+            self.state = UeState.DEREGISTERED
+            self.stats["attach_failures"] += 1
+            result.succeed(AttachOutcome(False, 0.0, str(exc)))
+            return
+        self._send_nas(nas.AttachRequest(imsi=self.imsi))
+        guard = self.sim.timeout(self.config.attach_guard_timer)
+        try:
+            race = yield self.sim.any_of([self._attach_done, guard])
+        except Exception as exc:  # reject / auth failure / session error
+            latency = self.sim.now - self._attach_started_at
+            self.state = UeState.DEREGISTERED
+            self.stats["attach_failures"] += 1
+            self.enb.rrc_release(self)
+            result.succeed(AttachOutcome(False, latency, str(exc)))
+            return
+        latency = self.sim.now - self._attach_started_at
+        if self._attach_done in race:
+            self.state = UeState.REGISTERED
+            self.stats["attach_successes"] += 1
+            if self.offered_mbps > 0:
+                self.enb.set_ue_offered_rate(self.imsi, self.offered_mbps)
+            result.succeed(AttachOutcome(True, latency))
+        else:
+            cause = "T3410 expiry"
+            self.state = UeState.DEREGISTERED
+            self.stats["attach_failures"] += 1
+            self.enb.rrc_release(self)
+            result.succeed(AttachOutcome(False, latency, cause))
+
+    def _on_auth_request(self, message: nas.AuthenticationRequest) -> None:
+        try:
+            network_sqn = auth.usim_verify_autn(
+                self.k, self.opc, message.rand, message.autn, self.usim_sqn)
+        except auth.AuthenticationFailure as exc:
+            if "SQN" in str(exc):
+                # 3GPP SQN resynchronization: report the USIM's SQN so the
+                # network can re-issue a fresh vector (needed when a UE
+                # appears at an AGW whose SQN state lags the USIM's).
+                self._send_nas(nas.AuthenticationFailureMsg(
+                    imsi=self.imsi,
+                    cause=f"sync_failure:{self.usim_sqn}"))
+                return
+            self._send_nas(nas.AuthenticationFailureMsg(imsi=self.imsi,
+                                                        cause=str(exc)))
+            if self._attach_done is not None and not self._attach_done.triggered:
+                self._attach_done.fail(RuntimeError(str(exc)))
+            return
+        self.usim_sqn = network_sqn
+        self._last_rand = message.rand
+        res = auth.usim_compute_res(self.k, self.opc, message.rand)
+        self.kasme = auth.derive_kasme(self.k, self.opc, message.rand,
+                                       network_sqn)
+        self._send_nas(nas.AuthenticationResponse(imsi=self.imsi, res=res))
+
+    def _on_attach_accept(self, message: nas.AttachAccept) -> None:
+        self.ip_address = message.ue_ip
+        self.bearer_id = message.bearer_id
+        self.guti = message.guti
+        self._send_nas(nas.AttachComplete(imsi=self.imsi))
+        if self._attach_done is not None and not self._attach_done.triggered:
+            self._attach_done.succeed()
+
+    def _send_nas(self, message: Any) -> None:
+        self.enb.uplink_nas(self, message)
+
+    def _clear_session(self) -> None:
+        self.ip_address = None
+        self.bearer_id = None
+        self.kasme = None
+        self.offered_mbps = self.offered_mbps  # offered intent persists
+        self.enb.rrc_release(self)

@@ -1,0 +1,19 @@
+"""Simulated network substrate: nodes/links, transports, RPC, backhaul."""
+
+from . import backhaul
+from .rpc import RpcChannel, RpcError, RpcServer, RPC_PORT
+from .simnet import Datagram, Link, Network
+from .transport import DatagramSocket, ReliableChannel
+
+__all__ = [
+    "Datagram",
+    "DatagramSocket",
+    "Link",
+    "Network",
+    "ReliableChannel",
+    "RpcChannel",
+    "RpcError",
+    "RpcServer",
+    "RPC_PORT",
+    "backhaul",
+]

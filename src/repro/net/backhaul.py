@@ -1,0 +1,62 @@
+"""Backhaul link profiles.
+
+Magma targets deployments where backhaul is *not* carrier-grade fiber:
+satellite, point-to-point microwave (Figure 2 of the paper shows a rural
+Peru site on wireless backhaul), or congested shared links.  These profiles
+parameterize the :class:`~repro.net.simnet.Link` used between an AGW and the
+orchestrator (and, in the baseline architecture, between the RAN and the
+remote core - which is where raw GTP suffers).
+"""
+
+from __future__ import annotations
+
+from .simnet import Link
+
+
+def fiber(name: str = "fiber") -> Link:
+    """Metro fiber: sub-millisecond, effectively lossless."""
+    return Link(latency=0.001, loss=0.0, jitter=0.0005,
+                bandwidth_mbps=1000.0, name=name)
+
+
+def microwave(name: str = "microwave") -> Link:
+    """Point-to-point wireless backhaul: moderate latency, light loss."""
+    return Link(latency=0.010, loss=0.005, jitter=0.005,
+                bandwidth_mbps=200.0, name=name)
+
+
+def satellite(name: str = "satellite") -> Link:
+    """GEO satellite: ~300 ms one-way latency and noticeable loss."""
+    return Link(latency=0.300, loss=0.02, jitter=0.030,
+                bandwidth_mbps=50.0, name=name)
+
+
+def congested_shared(name: str = "congested") -> Link:
+    """An oversubscribed shared link: high jitter and bursty loss."""
+    return Link(latency=0.050, loss=0.05, jitter=0.100,
+                bandwidth_mbps=20.0, name=name)
+
+
+def lan(name: str = "lan") -> Link:
+    """Local wiring between co-located elements (eNodeB to its AGW)."""
+    return Link(latency=0.0002, loss=0.0, jitter=0.0,
+                bandwidth_mbps=1000.0, name=name)
+
+
+PROFILES = {
+    "fiber": fiber,
+    "microwave": microwave,
+    "satellite": satellite,
+    "congested": congested_shared,
+    "lan": lan,
+}
+
+
+def by_name(profile: str, name: str = "") -> Link:
+    """Look up a profile by name (``fiber``/``microwave``/``satellite``/...)."""
+    try:
+        factory = PROFILES[profile]
+    except KeyError:
+        raise KeyError(f"unknown backhaul profile {profile!r}; "
+                       f"choose from {sorted(PROFILES)}") from None
+    return factory(name or profile)

@@ -1,0 +1,208 @@
+"""Simulated network: nodes, links, and datagram delivery.
+
+The control-plane fabric of the reproduction.  Nodes (AGWs, the orchestrator,
+eNodeBs, the FeG, ...) are attached to a :class:`Network` and exchange
+:class:`Datagram` objects over :class:`Link` objects with configurable
+latency, loss, jitter, and bandwidth.
+
+Data-plane *user traffic* is deliberately not modelled per-packet here (it is
+fluid-modelled against the CPU and radio capacity models); this module
+carries control messages, whose loss and delay behaviour is what the paper's
+state-synchronization and GTP-termination arguments are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+
+
+@dataclass
+class Datagram:
+    """An unreliable message in flight between two nodes."""
+
+    src: str
+    dst: str
+    port: int
+    payload: Any
+    size_bits: int = 8_000  # 1 KB default control message
+
+
+@dataclass
+class Link:
+    """A bidirectional link with latency/loss/jitter/bandwidth.
+
+    ``loss`` is the per-traversal drop probability.  ``bandwidth_mbps`` of
+    ``None`` means serialization delay is negligible.
+    """
+
+    latency: float = 0.001
+    loss: float = 0.0
+    jitter: float = 0.0
+    bandwidth_mbps: Optional[float] = None
+    name: str = "link"
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {self.loss}")
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+class _LinkState:
+    """Per-direction mutable link state (serialization queue)."""
+
+    __slots__ = ("link", "busy_until")
+
+    def __init__(self, link: Link):
+        self.link = link
+        self.busy_until = 0.0
+
+
+Handler = Callable[[Datagram], None]
+
+
+class Network:
+    """A graph of named nodes connected by links, with BFS routing.
+
+    Nodes can be marked down (crashed); datagrams to or through a down node
+    are silently dropped, as are datagrams lost on a lossy link.
+    """
+
+    def __init__(self, sim: Simulator, rng: Optional[RngRegistry] = None):
+        self.sim = sim
+        self.rng = rng or RngRegistry(0)
+        self._handlers: Dict[Tuple[str, int], Handler] = {}
+        self._adjacency: Dict[str, Dict[str, _LinkState]] = {}
+        self._node_up: Dict[str, bool] = {}
+        self._route_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        self.stats = {"sent": 0, "delivered": 0, "dropped_loss": 0,
+                      "dropped_down": 0, "dropped_unroutable": 0,
+                      "dropped_no_handler": 0}
+
+    # -- topology ------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        self._adjacency.setdefault(name, {})
+        self._node_up.setdefault(name, True)
+        self._route_cache.clear()
+
+    def connect(self, a: str, b: str, link: Optional[Link] = None) -> Link:
+        """Connect two nodes (creating them if needed) with a link."""
+        if a == b:
+            raise ValueError("cannot connect a node to itself")
+        link = link or Link()
+        self.add_node(a)
+        self.add_node(b)
+        self._adjacency[a][b] = _LinkState(link)
+        self._adjacency[b][a] = _LinkState(link)
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        state = self._adjacency.get(a, {}).get(b)
+        return state.link if state else None
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        """Crash or recover a node; affects both endpoints and transit."""
+        if name not in self._adjacency:
+            raise KeyError(f"unknown node {name!r}")
+        self._node_up[name] = up
+
+    def node_is_up(self, name: str) -> bool:
+        return self._node_up.get(name, False)
+
+    # -- sockets ---------------------------------------------------------------
+
+    def bind(self, node: str, port: int, handler: Handler) -> None:
+        """Register a delivery handler at (node, port)."""
+        self.add_node(node)
+        key = (node, port)
+        if key in self._handlers:
+            raise ValueError(f"port {port} already bound on {node!r}")
+        self._handlers[key] = handler
+
+    def unbind(self, node: str, port: int) -> None:
+        self._handlers.pop((node, port), None)
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, dgram: Datagram) -> None:
+        """Route and deliver ``dgram`` asynchronously (or drop it)."""
+        self.stats["sent"] += 1
+        if not self._node_up.get(dgram.src, False):
+            self.stats["dropped_down"] += 1
+            return
+        path = self._route(dgram.src, dgram.dst)
+        if path is None:
+            self.stats["dropped_unroutable"] += 1
+            return
+        delay = 0.0
+        rng = self.rng.stream("network.loss")
+        jrng = self.rng.stream("network.jitter")
+        now = self.sim.now
+        for hop_src, hop_dst in zip(path, path[1:]):
+            if not self._node_up.get(hop_dst, False):
+                self.stats["dropped_down"] += 1
+                return
+            state = self._adjacency[hop_src][hop_dst]
+            link = state.link
+            if link.loss > 0 and rng.random() < link.loss:
+                self.stats["dropped_loss"] += 1
+                return
+            delay += link.latency
+            if link.jitter > 0:
+                delay += jrng.uniform(0, link.jitter)
+            if link.bandwidth_mbps is not None:
+                serialization = dgram.size_bits / (link.bandwidth_mbps * 1e6)
+                start = max(now + delay, state.busy_until)
+                state.busy_until = start + serialization
+                delay = (start + serialization) - now
+        self.sim.schedule(delay, self._deliver, dgram)
+
+    def _deliver(self, dgram: Datagram) -> None:
+        if not self._node_up.get(dgram.dst, False):
+            self.stats["dropped_down"] += 1
+            return
+        handler = self._handlers.get((dgram.dst, dgram.port))
+        if handler is None:
+            self.stats["dropped_no_handler"] += 1
+            return
+        self.stats["delivered"] += 1
+        handler(dgram)
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(self, src: str, dst: str) -> Optional[List[str]]:
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        path = self._bfs(src, dst)
+        self._route_cache[key] = path
+        return path
+
+    def _bfs(self, src: str, dst: str) -> Optional[List[str]]:
+        if src == dst:
+            return [src]
+        if src not in self._adjacency or dst not in self._adjacency:
+            return None
+        visited = {src}
+        frontier: List[List[str]] = [[src]]
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for path in frontier:
+                for neighbor in self._adjacency[path[-1]]:
+                    if neighbor in visited:
+                        continue
+                    new_path = path + [neighbor]
+                    if neighbor == dst:
+                        return new_path
+                    visited.add(neighbor)
+                    next_frontier.append(new_path)
+            frontier = next_frontier
+        return None

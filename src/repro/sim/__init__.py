@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+- :class:`~repro.sim.kernel.Simulator` and the awaitables
+  (:class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.Timeout`,
+  :class:`~repro.sim.kernel.Process`, :class:`~repro.sim.kernel.AnyOf`,
+  :class:`~repro.sim.kernel.AllOf`).
+- :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.Signal` for coordination.
+- :class:`~repro.sim.cpu.CpuModel` for the calibrated AGW CPU model.
+- :class:`~repro.sim.monitor.Monitor` for experiment time series.
+- :class:`~repro.sim.rng.RngRegistry` for reproducible randomness.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .cpu import CpuModel
+from .monitor import Monitor, Series, median, percentile
+from .resources import Resource, Signal, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CpuModel",
+    "Event",
+    "Interrupted",
+    "Monitor",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Series",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "median",
+    "percentile",
+]

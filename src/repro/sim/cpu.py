@@ -1,0 +1,248 @@
+"""Quantized multi-core CPU model.
+
+The paper's performance results (Figs. 5-8) are all about contention between
+*control-plane* work (discrete tasks: processing an attach request, including
+authentication crypto) and *user-plane* work (a fluid load: forwarding UE
+traffic) on a small number of commodity cores.  This module models exactly
+that contention.
+
+Model
+-----
+- The CPU has ``cores`` cores and advances in fixed quanta (default 50 ms).
+- **Discrete tasks** (:meth:`CpuModel.submit`) carry a service demand in
+  core-seconds and belong to a named class (e.g. ``"cp"``).  Tasks are served
+  FIFO within their class; at most one core serves a task at a time (an
+  attach cannot be parallelized), so a class with *n* cores serves at most
+  *n* tasks concurrently.
+- **Fluid demand** (:meth:`CpuModel.set_fluid_demand`) models packet
+  forwarding: a continuous work *rate* in core-seconds per second.  The model
+  reports how much of that rate was actually served each quantum, from which
+  the caller derives achieved throughput.
+- **Scheduling**: with ``partition=None`` (the "flexible" kernel scheduler of
+  Figs. 7-8), all classes share every core and contend via processor sharing.
+  With a static partition (``{"up": 3, "cp": 1}``), each class may only use
+  its own cores and excess capacity in one pool is *not* available to the
+  other - reproducing the trade-off the paper measures.
+
+Utilization per quantum is recorded into an optional
+:class:`~repro.sim.monitor.Monitor` as ``cpu.<name>.util`` (total, fraction
+of all cores) and ``cpu.<name>.util.<class>``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from .fairshare import max_min_share
+from .kernel import Event, Simulator
+from .monitor import Monitor
+
+DEFAULT_QUANTUM = 0.05
+
+
+class CpuTask:
+    """A queued discrete task; ``done`` triggers when fully served."""
+
+    __slots__ = ("cls", "demand", "remaining", "enqueued_at", "done")
+
+    def __init__(self, cls: str, demand: float, enqueued_at: float, done: Event):
+        self.cls = cls
+        self.demand = demand
+        self.remaining = demand
+        self.enqueued_at = enqueued_at
+        self.done = done
+
+
+class _Pool:
+    """A set of cores serving one or more classes."""
+
+    __slots__ = ("cores", "classes")
+
+    def __init__(self, cores: float, classes: Tuple[str, ...]):
+        self.cores = cores
+        self.classes = classes
+
+
+class CpuModel:
+    """A quantized processor-sharing model of a small multi-core CPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: float,
+        quantum: float = DEFAULT_QUANTUM,
+        partition: Optional[Dict[str, float]] = None,
+        monitor: Optional[Monitor] = None,
+        name: str = "cpu",
+    ):
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if partition is not None:
+            total = sum(partition.values())
+            if total - cores > 1e-9:
+                raise ValueError(f"partition uses {total} cores but CPU has {cores}")
+            if any(v < 0 for v in partition.values()):
+                raise ValueError("partition core counts must be >= 0")
+        self.sim = sim
+        self.cores = float(cores)
+        self.quantum = quantum
+        self.partition = dict(partition) if partition else None
+        self.monitor = monitor
+        self.name = name
+        self._queues: Dict[str, Deque[CpuTask]] = {}
+        self._fluid: Dict[str, Dict[str, float]] = {}  # cls -> source -> rate
+        self._fluid_served_rate: Dict[str, float] = {}  # cls -> core-sec/s last quantum
+        self._queued_work: Dict[str, float] = {}
+        self._ticking = False
+        self._stopped = False
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, cls: str, demand: float) -> Event:
+        """Enqueue a discrete task; the returned event fires on completion.
+
+        The event value is the task's total sojourn time (queueing +
+        service), which experiments use to detect deadline misses.
+        """
+        if demand <= 0:
+            raise ValueError("task demand must be positive")
+        done = self.sim.event(f"{self.name}.task.{cls}")
+        task = CpuTask(cls, demand, self.sim.now, done)
+        self._queues.setdefault(cls, deque()).append(task)
+        self._queued_work[cls] = self._queued_work.get(cls, 0.0) + demand
+        self._ensure_ticking()
+        return done
+
+    def set_fluid_demand(self, cls: str, source: str, rate: float) -> None:
+        """Set the continuous work rate (core-sec/s) offered by ``source``."""
+        if rate < 0:
+            raise ValueError("fluid rate must be >= 0")
+        per_source = self._fluid.setdefault(cls, {})
+        if rate == 0.0:
+            per_source.pop(source, None)
+        else:
+            per_source[source] = rate
+        self._ensure_ticking()
+
+    def fluid_demand(self, cls: str) -> float:
+        return sum(self._fluid.get(cls, {}).values())
+
+    def fluid_served_rate(self, cls: str) -> float:
+        """Core-sec/s actually delivered to ``cls`` fluid in the last quantum."""
+        return self._fluid_served_rate.get(cls, 0.0)
+
+    def fluid_service_fraction(self, cls: str) -> float:
+        """Fraction of offered fluid demand served in the last quantum."""
+        demand = self.fluid_demand(cls)
+        if demand <= 0:
+            return 1.0
+        return min(1.0, self.fluid_served_rate(cls) / demand)
+
+    def queue_depth(self, cls: str) -> int:
+        return len(self._queues.get(cls, ()))
+
+    def queued_work(self, cls: str) -> float:
+        """Outstanding core-seconds of discrete work for ``cls``."""
+        return self._queued_work.get(cls, 0.0)
+
+    def stop(self) -> None:
+        """Stop ticking (used when tearing down an experiment)."""
+        self._stopped = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_ticking(self) -> None:
+        if not self._ticking and not self._stopped:
+            self._ticking = True
+            self.sim.schedule(self.quantum, self._tick)
+
+    def _pools(self) -> Iterable[_Pool]:
+        if self.partition is None:
+            classes = set(self._queues) | set(self._fluid)
+            yield _Pool(self.cores, tuple(sorted(classes)))
+        else:
+            for cls, cores in self.partition.items():
+                yield _Pool(cores, (cls,))
+
+    def _tick(self) -> None:
+        if self._stopped:
+            self._ticking = False
+            return
+        dt = self.quantum
+        served_by_class: Dict[str, float] = {}
+        for pool in self._pools():
+            self._serve_pool(pool, dt, served_by_class)
+        total_served = sum(served_by_class.values())
+        if self.monitor is not None:
+            self.monitor.record(f"cpu.{self.name}.util", self.sim.now,
+                                total_served / (self.cores * dt))
+            for cls, served in served_by_class.items():
+                self.monitor.record(f"cpu.{self.name}.util.{cls}", self.sim.now,
+                                    served / (self.cores * dt))
+        # Keep ticking while there is anything to do; go idle otherwise.
+        if any(self._queues.get(c) for c in self._queues) or any(
+            self._fluid.get(c) for c in self._fluid
+        ):
+            self.sim.schedule(dt, self._tick)
+        else:
+            self._ticking = False
+            self._fluid_served_rate.clear()
+
+    def _serve_pool(self, pool: _Pool, dt: float, served_by_class: Dict[str, float]) -> None:
+        capacity = pool.cores * dt
+        if capacity <= 0:
+            for cls in pool.classes:
+                if self._fluid.get(cls):
+                    self._fluid_served_rate[cls] = 0.0
+            return
+        max_parallel = max(1, int(pool.cores))
+        # Gather demands: per class, discrete task slice + fluid slice.
+        slices: Dict[str, float] = {}
+        runnable: Dict[str, list] = {}
+        fluid_need: Dict[str, float] = {}
+        for cls in pool.classes:
+            queue = self._queues.get(cls)
+            tasks = []
+            if queue:
+                for task in list(queue)[:max_parallel]:
+                    tasks.append(task)
+            runnable[cls] = tasks
+            discrete_need = sum(min(t.remaining, dt) for t in tasks)
+            fneed = self.fluid_demand(cls) * dt
+            fluid_need[cls] = fneed
+            slices[cls] = discrete_need + fneed
+        total_need = sum(slices.values())
+        if total_need <= 0:
+            for cls in pool.classes:
+                if self._fluid.get(cls):
+                    self._fluid_served_rate[cls] = 0.0
+            return
+        # Between classes: max-min fair (a work-conserving kernel scheduler
+        # gives a light class its full demand; heavy classes split the rest).
+        # Within a class: proportional among runnable tasks and fluid load.
+        grants = max_min_share(slices, capacity)
+        for cls in pool.classes:
+            need = slices[cls]
+            scale = min(1.0, grants.get(cls, 0.0) / need) if need > 0 else 0.0
+            served_cls = 0.0
+            # Discrete tasks: each runnable task receives its scaled slice.
+            queue = self._queues.get(cls)
+            for task in runnable[cls]:
+                grant = min(task.remaining, dt) * scale
+                task.remaining -= grant
+                served_cls += grant
+                self._queued_work[cls] = max(0.0, self._queued_work.get(cls, 0.0) - grant)
+                if task.remaining <= 1e-12:
+                    queue.remove(task)
+                    if not task.done.triggered:
+                        sojourn = self.sim.now + dt - task.enqueued_at
+                        task.done.succeed(sojourn)
+            # Fluid load.
+            fgrant = fluid_need[cls] * scale
+            served_cls += fgrant
+            if self._fluid.get(cls) or fluid_need[cls] > 0:
+                self._fluid_served_rate[cls] = fgrant / dt
+            served_by_class[cls] = served_by_class.get(cls, 0.0) + served_cls

@@ -1,0 +1,44 @@
+"""Max-min fair allocation (water-filling).
+
+Used in two places that the paper's results depend on:
+
+- the radio capacity model (sharing a cell's throughput across UEs), and
+- the CPU model's flexible scheduling mode (sharing cores between the
+  control-plane and user-plane work classes the way a work-conserving
+  kernel scheduler does - light classes get their full demand, heavy
+  classes split what remains).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def max_min_share(offered: Dict[str, float], capacity: float,
+                  per_user_cap: float = float("inf")) -> Dict[str, float]:
+    """Max-min fair allocation of ``capacity`` across offered demands.
+
+    Users demanding less than the fair share are granted in full; the
+    leftover is redistributed among the rest.  ``per_user_cap`` bounds any
+    single user's allocation (e.g. a UE's MCS peak rate).
+    """
+    if capacity < 0 or per_user_cap <= 0:
+        raise ValueError("capacity must be >= 0, per-user cap > 0")
+    demands = {u: min(rate, per_user_cap) for u, rate in offered.items()
+               if rate > 0}
+    allocation = {u: 0.0 for u in offered}
+    remaining = capacity
+    active = sorted(demands, key=lambda u: demands[u])
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        satisfied = [u for u in active if demands[u] <= share]
+        if not satisfied:
+            for u in active:
+                allocation[u] = share
+            return allocation
+        for u in satisfied:
+            allocation[u] = demands[u]
+            remaining -= demands[u]
+        satisfied_set = set(satisfied)
+        active = [u for u in active if u not in satisfied_set]
+    return allocation

@@ -1,0 +1,376 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction runs on top of this kernel: protocol state
+machines, RPC channels, CPU models, and workload generators are all simulated
+processes exchanging events in virtual time.
+
+The design follows the classic event-list pattern:
+
+- A :class:`Simulator` owns a priority queue of timestamped callbacks and a
+  virtual clock (``now``, in seconds).
+- A :class:`Process` wraps a Python generator.  The generator *yields*
+  awaitable objects (:class:`Timeout`, :class:`Event`, another
+  :class:`Process`, :class:`AnyOf`/:class:`AllOf`) and is resumed when the
+  awaited thing completes.  The value sent back into the generator is the
+  payload of the completed awaitable.
+- Processes may be interrupted (:meth:`Process.interrupt`), which raises
+  :class:`Interrupted` inside the generator at its current yield point.
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it exactly once and resumes all waiting processes.  Waiting on an
+    already-triggered event resumes the waiter immediately (on the next
+    kernel step).
+    """
+
+    __slots__ = ("sim", "_ok", "_value", "_callbacks", "_triggered", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._ok: bool = True
+        self._value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exc`` raised."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run (as a scheduled callback) once triggered."""
+        if self._triggered:
+            self.sim.schedule(0.0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self._triggered:
+            self.succeed(value)
+
+
+class AnyOf(Event):
+    """Triggers when the first of several events triggers.
+
+    The value is a dict mapping the winning event(s) to their values.  A
+    failed child event fails the composite.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed({ev: ev.value})
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered.
+
+    The value is a dict mapping every event to its value.  The first failed
+    child fails the composite.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+
+class Process(Event):
+    """A running simulated activity, driven by a generator.
+
+    A process is itself an :class:`Event` that triggers when the generator
+    returns (value = return value) or raises (failure).  This lets processes
+    wait on each other by yielding the process object.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupted` inside the process at its yield point.
+
+        Interrupting a finished process is a no-op.
+        """
+        if self._triggered:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and not target.triggered:
+            # Detach: the old target may still fire but we will ignore it.
+            try:
+                target._callbacks.remove(self._on_wait_done)
+            except ValueError:
+                pass
+        self.sim.schedule(0.0, self._throw, Interrupted(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._step(lambda: self.generator.throw(exc))
+
+    def _resume(self, value: Any) -> None:
+        if self._triggered:
+            return
+        self._step(lambda: self.generator.send(value))
+
+    def _resume_error(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self._waiting_on = None
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupted as exc:
+            # An un-caught interrupt terminates the process "successfully
+            # failed": surface it as a failure so waiters notice.
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.sim.schedule(
+                0.0,
+                self._resume_error,
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, ev: Event) -> None:
+        if self._triggered or self._waiting_on is not ev:
+            return
+        if ev.ok:
+            self._resume(ev.value)
+        else:
+            value = ev.value
+            if not isinstance(value, BaseException):
+                value = SimulationError(f"event failed with non-exception {value!r}")
+            self._resume_error(value)
+
+
+class Simulator:
+    """The discrete-event scheduler and virtual clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), fn, args))
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        self.schedule(when - self._now, fn, *args)
+
+    # -- awaitable factories ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False if idle."""
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        self._now = when
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or ``until`` (absolute time).
+
+        Returns the clock value when the run stops.  When stopping at
+        ``until``, the clock is advanced to exactly ``until`` and any events
+        scheduled for later remain queued.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` triggers; raise on failure or time limit."""
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError("deadlock: event queue drained while waiting")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"time limit {limit} reached while waiting")
+            self.step()
+        if not event.ok:
+            value = event.value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"awaited event failed: {value!r}")
+        return event.value

@@ -1,0 +1,150 @@
+"""Time-series recording and summary statistics for experiments.
+
+A :class:`Monitor` collects named ``(time, value)`` series during a run and
+offers the aggregations the paper's figures need: windowed means (CPU
+utilization in Fig. 5), binned success rates (5-second CSR bins in Fig. 6),
+and percentiles/medians (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Series:
+    """An append-only (time, value) series with simple analytics."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"series {self.name!r}: time went backwards ({t} < {self.times[-1]})")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def total(self) -> float:
+        return sum(self.values)
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def between(self, t0: float, t1: float) -> "Series":
+        """Sub-series with t0 <= time < t1."""
+        lo = bisect.bisect_left(self.times, t0)
+        hi = bisect.bisect_left(self.times, t1)
+        sub = Series(self.name)
+        sub.times = self.times[lo:hi]
+        sub.values = self.values[lo:hi]
+        return sub
+
+    def binned(self, width: float, t0: float = 0.0, t1: Optional[float] = None,
+               agg: str = "mean") -> List[Tuple[float, float]]:
+        """Aggregate into fixed-width bins.
+
+        Returns ``[(bin_start, aggregate), ...]``.  ``agg`` is one of
+        ``mean``, ``sum``, ``count``, ``max``.  Empty bins yield 0 for
+        sum/count and NaN for mean/max.
+        """
+        if width <= 0:
+            raise ValueError("bin width must be positive")
+        if t1 is None:
+            t1 = self.times[-1] + width if self.times else t0 + width
+        nbins = max(1, math.ceil((t1 - t0) / width))
+        buckets: List[List[float]] = [[] for _ in range(nbins)]
+        for t, v in zip(self.times, self.values):
+            if t0 <= t < t1:
+                buckets[int((t - t0) / width)].append(v)
+        out = []
+        for i, bucket in enumerate(buckets):
+            start = t0 + i * width
+            if agg == "count":
+                out.append((start, float(len(bucket))))
+            elif agg == "sum":
+                out.append((start, float(sum(bucket))))
+            elif agg == "mean":
+                out.append((start, sum(bucket) / len(bucket) if bucket else float("nan")))
+            elif agg == "max":
+                out.append((start, max(bucket) if bucket else float("nan")))
+            else:
+                raise ValueError(f"unknown aggregation {agg!r}")
+        return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q out of range: {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+class Monitor:
+    """A registry of named series plus counter conveniences."""
+
+    def __init__(self):
+        self._series: Dict[str, Series] = {}
+        self._counters: Dict[str, float] = {}
+
+    def series(self, name: str) -> Series:
+        s = self._series.get(name)
+        if s is None:
+            s = Series(name)
+            self._series[name] = s
+        return s
+
+    def record(self, name: str, t: float, value: float) -> None:
+        self.series(name).record(t, value)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def names(self) -> Iterable[str]:
+        return self._series.keys()
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series

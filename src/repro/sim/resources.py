@@ -1,0 +1,127 @@
+"""Synchronization primitives for simulated processes.
+
+These mirror the small set of primitives the rest of the system needs:
+
+- :class:`Resource` — a counted semaphore (e.g. worker pools).
+- :class:`Store` — an unbounded FIFO mailbox (e.g. service request queues).
+- :class:`Signal` — a reusable broadcast condition (e.g. "config changed").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .kernel import Event, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    Usage inside a process::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = self.sim.event("resource.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO queue of items; ``get()`` blocks until an item exists."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event(f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Signal:
+    """A reusable broadcast condition.
+
+    ``wait()`` returns an event for the *next* firing; ``fire(value)`` wakes
+    every current waiter.  Unlike :class:`~repro.sim.kernel.Event`, a Signal
+    can fire many times.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        ev = self.sim.event(f"{self.name}.wait")
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        woken = 0
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(value)
+                woken += 1
+        return woken

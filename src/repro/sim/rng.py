@@ -1,0 +1,36 @@
+"""Deterministic, named random-number streams.
+
+Experiments must be replicable (the paper's Landslide testbed emphasises
+replicable emulation), so every stochastic component draws from its own named
+stream derived from a single root seed.  Two runs with the same root seed and
+the same stream names produce identical traces regardless of the order in
+which *other* streams are consumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """Factory for named, independently-seeded ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.root_seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. per-trial) with an independent seed."""
+        digest = hashlib.sha256(f"{self.root_seed}:fork:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,30 @@
+"""WiFi substrate: APs, RADIUS AAA, captive portal."""
+
+from . import eap
+from .ap import WifiAp, WifiClientState, DEFAULT_AP_CAPACITY_MBPS
+from .captive_portal import CaptivePortal, PortalError, PortalSession, Voucher
+from .radius import (
+    AccessAccept,
+    AccessReject,
+    AccessRequest,
+    AccountingRequest,
+    AccountingResponse,
+    RADIUS_SERVICE,
+)
+
+__all__ = [
+    "AccessAccept",
+    "AccessReject",
+    "AccessRequest",
+    "AccountingRequest",
+    "AccountingResponse",
+    "CaptivePortal",
+    "eap",
+    "DEFAULT_AP_CAPACITY_MBPS",
+    "PortalError",
+    "PortalSession",
+    "RADIUS_SERVICE",
+    "Voucher",
+    "WifiAp",
+    "WifiClientState",
+]

@@ -1,0 +1,156 @@
+"""WiFi access point and client models.
+
+The AP associates clients locally (best-effort, unlicensed spectrum:
+contention shrinks per-client throughput as load grows) and authenticates
+them against the AGW's RADIUS frontend.  Compare with
+:class:`~repro.lte.enodeb.Enodeb`: same shape, different protocol - which
+is exactly the paper's point about abstracting the radio technology.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..net.rpc import RpcChannel, RpcError
+from ..net.simnet import Network
+from ..sim.fairshare import max_min_share
+from ..sim.kernel import Event, Simulator
+from .radius import (
+    AccessAccept,
+    AccessReject,
+    AccountingRequest,
+    RADIUS_SERVICE,
+)
+
+DEFAULT_AP_CAPACITY_MBPS = 50.0   # contended unlicensed spectrum
+DEFAULT_MAX_CLIENTS = 64
+
+
+@dataclass
+class WifiClientState:
+    username: str
+    mac: str
+    ip: Optional[str] = None
+    session_id: Optional[str] = None
+    offered_mbps: float = 0.0
+    connected: bool = False
+
+
+class WifiAp:
+    """One access point, backhauled to an AGW."""
+
+    def __init__(self, sim: Simulator, network: Network, ap_id: str,
+                 agw_node: str, capacity_mbps: float = DEFAULT_AP_CAPACITY_MBPS,
+                 max_clients: int = DEFAULT_MAX_CLIENTS,
+                 radius_deadline: float = 5.0):
+        if capacity_mbps <= 0 or max_clients < 1:
+            raise ValueError("capacity and max_clients must be positive")
+        self.sim = sim
+        self.network = network
+        self.ap_id = ap_id
+        self.agw_node = agw_node
+        self.capacity_mbps = capacity_mbps
+        self.max_clients = max_clients
+        self.radius_deadline = radius_deadline
+        self._clients: Dict[str, WifiClientState] = {}
+        self._mac_counter = itertools.count(1)
+        network.add_node(ap_id)
+        self._channel = RpcChannel(sim, network, ap_id, agw_node)
+        self.stats = {"associations": 0, "rejected_full": 0,
+                      "auth_ok": 0, "auth_failed": 0, "disconnects": 0}
+
+    # -- client lifecycle ---------------------------------------------------------
+
+    def connect(self, username: str, secret: str) -> Event:
+        """Associate + authenticate a client.
+
+        The returned event succeeds with the client's
+        :class:`WifiClientState` (``connected`` tells success) - mirroring
+        the LTE UE's AttachOutcome convention.
+        """
+        done = self.sim.event(f"wifi.{self.ap_id}.connect.{username}")
+        if len(self._clients) >= self.max_clients:
+            self.stats["rejected_full"] += 1
+            done.succeed(WifiClientState(username=username, mac="",
+                                         connected=False))
+            return done
+        mac = f"{self.ap_id}-mac-{next(self._mac_counter)}"
+        state = WifiClientState(username=username, mac=mac)
+        self._clients[username] = state
+        self.stats["associations"] += 1
+
+        def proc(sim):
+            from . import eap
+            from .radius import AccessRequest, EapStartRequest
+            try:
+                # Round 1: EAP identity -> challenge.
+                challenge = yield self._channel.call(
+                    RADIUS_SERVICE, "eap_start",
+                    EapStartRequest(username=username, ap_id=self.ap_id,
+                                    client_mac=mac),
+                    deadline=self.radius_deadline)
+                # Round 2: proof of the shared secret.
+                request = AccessRequest(
+                    username=username, ap_id=self.ap_id, client_mac=mac,
+                    nonce=challenge.nonce,
+                    eap_proof=eap.compute_proof(secret, challenge.nonce))
+                response = yield self._channel.call(
+                    RADIUS_SERVICE, "access_request", request,
+                    deadline=self.radius_deadline)
+            except RpcError:
+                response = AccessReject(username=username, cause="timeout")
+            if isinstance(response, AccessAccept):
+                state.ip = response.framed_ip
+                state.session_id = response.session_id
+                state.connected = True
+                self.stats["auth_ok"] += 1
+            else:
+                self._clients.pop(username, None)
+                self.stats["auth_failed"] += 1
+            done.succeed(state)
+
+        self.sim.spawn(proc(self.sim), name=f"wifi-auth:{username}")
+        return done
+
+    def disconnect(self, username: str) -> None:
+        state = self._clients.pop(username, None)
+        if state is None or not state.connected:
+            return
+        self.stats["disconnects"] += 1
+
+        def proc(sim):
+            request = AccountingRequest(
+                username=username, session_id=state.session_id,
+                acct_type=AccountingRequest.ACCT_STOP)
+            try:
+                yield self._channel.call(RADIUS_SERVICE, "accounting",
+                                         request,
+                                         deadline=self.radius_deadline)
+            except RpcError:
+                pass
+
+        self.sim.spawn(proc(self.sim), name=f"wifi-acct-stop:{username}")
+
+    # -- traffic ---------------------------------------------------------------------
+
+    def set_offered_rate(self, username: str, mbps: float) -> None:
+        state = self._clients.get(username)
+        if state is None:
+            raise KeyError(f"client {username!r} not associated")
+        if mbps < 0:
+            raise ValueError("offered rate must be >= 0")
+        state.offered_mbps = mbps
+
+    def allocate(self) -> Dict[str, float]:
+        """Per-client radio throughput (contended, max-min fair)."""
+        offered = {u: s.offered_mbps for u, s in self._clients.items()
+                   if s.connected}
+        return max_min_share(offered, self.capacity_mbps)
+
+    def client(self, username: str) -> Optional[WifiClientState]:
+        return self._clients.get(username)
+
+    def client_count(self) -> int:
+        return len(self._clients)

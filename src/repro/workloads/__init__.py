@@ -1,0 +1,28 @@
+"""Workload generators: attach storms, traffic, IoT, diurnal usage."""
+
+from .attach_storm import AttachRecord, AttachStorm
+from .diurnal import (
+    DiurnalConfig,
+    HourSample,
+    diurnal_factor,
+    generate_trace,
+    summarize,
+)
+from .http_download import DEFAULT_RATE_MBPS, HttpDownload, start_streaming
+from .iot import IotWorkload
+from .traffic import TrafficEngine
+
+__all__ = [
+    "AttachRecord",
+    "AttachStorm",
+    "DEFAULT_RATE_MBPS",
+    "DiurnalConfig",
+    "HourSample",
+    "HttpDownload",
+    "IotWorkload",
+    "TrafficEngine",
+    "diurnal_factor",
+    "generate_trace",
+    "start_streaming",
+    "summarize",
+]

@@ -1,0 +1,102 @@
+"""Shared test fixtures: a one-call Magma site builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.agw import (
+    AccessGateway,
+    AgwConfig,
+    CheckpointStore,
+    SubscriberProfile,
+)
+from repro.core.policy import PolicyRule
+from repro.lte import CellConfig, Enodeb, Ue, UeConfig, auth, make_imsi
+from repro.net import Link, Network, backhaul
+from repro.sim import Monitor, RngRegistry, Simulator
+
+OP = b"test-operator-op"
+
+
+def subscriber_keys(index: int):
+    """Deterministic per-subscriber K/OPc."""
+    k = index.to_bytes(4, "big") * 4
+    opc = auth.derive_opc(k, OP)
+    return k, opc
+
+
+@dataclass
+class MagmaSite:
+    sim: Simulator
+    network: Network
+    rng: RngRegistry
+    monitor: Monitor
+    agw: AccessGateway
+    enbs: List[Enodeb]
+    ues: List[Ue]
+    checkpoint_store: CheckpointStore
+    imsis: List[str] = field(default_factory=list)
+
+    def ue(self, index: int) -> Ue:
+        return self.ues[index]
+
+    def run_attach(self, ue: Ue, limit: float = 120.0):
+        """Drive one attach to completion; returns the AttachOutcome."""
+        done = ue.attach()
+        return self.sim.run_until_triggered(done,
+                                            limit=self.sim.now + limit)
+
+
+def build_site(num_enbs: int = 1, num_ues: int = 1,
+               config: Optional[AgwConfig] = None,
+               cell_config: Optional[CellConfig] = None,
+               ue_config: Optional[UeConfig] = None,
+               policies: Optional[Dict[str, PolicyRule]] = None,
+               policy_id: str = "default",
+               ocs=None,
+               orchestrator_node: Optional[str] = None,
+               seed: int = 1,
+               do_s1_setup: bool = True) -> MagmaSite:
+    """Build a cell site: one AGW, N eNodeBs on LAN links, M UEs.
+
+    Subscribers are pre-provisioned straight into the AGW's subscriberdb
+    (as the paper's evaluation does with pre-provisioned SIMs).
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    monitor = Monitor()
+    network = Network(sim, rng)
+    store = CheckpointStore()
+    agw = AccessGateway(sim, network, "agw-1", config=config,
+                        orchestrator_node=orchestrator_node, ocs=ocs,
+                        checkpoint_store=store, monitor=monitor, rng=rng)
+    if policies:
+        for policy in policies.values():
+            agw.policydb.upsert(policy)
+    enbs = []
+    for i in range(num_enbs):
+        enb_id = f"enb-{i + 1}"
+        network.connect(enb_id, "agw-1", backhaul.lan(f"lan-{enb_id}"))
+        enbs.append(Enodeb(sim, network, enb_id, "agw-1",
+                           cell_config=cell_config))
+    ues = []
+    imsis = []
+    for i in range(num_ues):
+        imsi = make_imsi(i + 1)
+        k, opc = subscriber_keys(i + 1)
+        agw.subscriberdb.upsert(SubscriberProfile(
+            imsi=imsi, k=k, opc=opc, policy_id=policy_id,
+            wifi_secret=f"wifi-{imsi}"))
+        enb = enbs[i % len(enbs)]
+        ues.append(Ue(sim, imsi, k, opc, enb, config=ue_config))
+        imsis.append(imsi)
+    agw.start()
+    if do_s1_setup:
+        for enb in enbs:
+            enb.s1_setup()
+        sim.run(until=1.0)
+        assert all(enb.s1_ready for enb in enbs)
+    return MagmaSite(sim=sim, network=network, rng=rng, monitor=monitor,
+                     agw=agw, enbs=enbs, ues=ues, checkpoint_store=store,
+                     imsis=imsis)

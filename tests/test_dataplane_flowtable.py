@@ -1,0 +1,84 @@
+"""Direct unit tests for FlowTable/FlowRule bookkeeping."""
+
+import pytest
+
+from repro.dataplane import FlowMatch, FlowRule, FlowTable, ip_packet
+from repro.dataplane import actions as act
+
+
+def rule(priority, match=None, cookie=None):
+    return FlowRule(priority, match or FlowMatch(), [act.Drop()], cookie)
+
+
+def test_priority_ordering_stable_for_ties():
+    table = FlowTable(0)
+    first = table.add(rule(10, cookie="first"))
+    second = table.add(rule(10, cookie="second"))
+    assert table.rules()[0] is first  # insertion order preserved at a tie
+    hit = table.lookup(ip_packet("a", "b"))
+    assert hit.cookie == "first"
+
+
+def test_higher_priority_inserted_later_wins():
+    table = FlowTable(0)
+    table.add(rule(1, cookie="low"))
+    table.add(rule(100, cookie="high"))
+    assert table.lookup(ip_packet("a", "b")).cookie == "high"
+    assert [r.cookie for r in table.rules()] == ["high", "low"]
+
+
+def test_negative_priority_rejected():
+    with pytest.raises(ValueError):
+        FlowRule(-1, FlowMatch(), [])
+
+
+def test_lookup_miss_counts():
+    table = FlowTable(0)
+    table.add(rule(10, match=FlowMatch(ip_src="10.0.0.1")))
+    assert table.lookup(ip_packet("10.0.0.2", "x")) is None
+    assert table.lookups == 1
+    assert table.matches == 0
+    table.lookup(ip_packet("10.0.0.1", "x"))
+    assert table.matches == 1
+
+
+def test_remove_by_cookie_counts():
+    table = FlowTable(0)
+    table.add(rule(1, cookie="a"))
+    table.add(rule(2, cookie="a"))
+    table.add(rule(3, cookie="b"))
+    assert table.remove_by_cookie("a") == 2
+    assert table.remove_by_cookie("a") == 0
+    assert len(table) == 1
+
+
+def test_remove_rule_by_id():
+    table = FlowTable(0)
+    kept = table.add(rule(1, cookie="keep"))
+    gone = table.add(rule(2, cookie="gone"))
+    assert table.remove_rule(gone.rule_id)
+    assert not table.remove_rule(gone.rule_id)
+    assert table.rules() == [kept]
+
+
+def test_find_by_cookie_and_clear():
+    table = FlowTable(0, name="test")
+    table.add(rule(1, cookie="x"))
+    table.add(rule(2, cookie="x"))
+    assert len(table.find_by_cookie("x")) == 2
+    table.clear()
+    assert len(table) == 0
+    assert table.name == "test"
+
+
+def test_rule_ids_unique():
+    a = rule(1)
+    b = rule(1)
+    assert a.rule_id != b.rule_id
+
+
+def test_stats_start_zeroed():
+    r = rule(1)
+    assert r.stats.packets == 0
+    assert r.stats.bytes == 0
+    assert r.stats.fluid_byte_seconds == 0.0

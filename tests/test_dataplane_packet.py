@@ -1,0 +1,101 @@
+"""Unit tests for the packet model and GTP-U encap/decap."""
+
+import pytest
+
+from repro.dataplane import (
+    GTPU_PORT,
+    GtpuHeader,
+    IPv4Header,
+    Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    TcpHeader,
+    UdpHeader,
+    gtpu_decap,
+    gtpu_encap,
+    ip_packet,
+)
+
+
+def test_ip_packet_constructor_udp():
+    pkt = ip_packet("10.0.0.1", "8.8.8.8", proto=PROTO_UDP, sport=1234, dport=53)
+    ip = pkt.find(IPv4Header)
+    udp = pkt.find(UdpHeader)
+    assert ip.src == "10.0.0.1" and ip.dst == "8.8.8.8"
+    assert udp.sport == 1234 and udp.dport == 53
+
+
+def test_ip_packet_constructor_tcp():
+    pkt = ip_packet("10.0.0.1", "1.1.1.1", proto=PROTO_TCP, dport=443)
+    assert pkt.find(TcpHeader).dport == 443
+    assert pkt.find(UdpHeader) is None
+
+
+def test_size_includes_headers():
+    pkt = ip_packet("10.0.0.1", "1.1.1.1", payload_bytes=1000)
+    base = pkt.size_bytes
+    gtpu_encap(pkt, teid=7, tunnel_src="192.168.0.1", tunnel_dst="192.168.0.2")
+    assert pkt.size_bytes == base + 3 * 40  # outer IP + UDP + GTPU
+
+
+def test_push_pop_outermost():
+    pkt = Packet()
+    pkt.push(UdpHeader(1, 2))
+    pkt.push(IPv4Header("a", "b"))
+    assert isinstance(pkt.outermost(), IPv4Header)
+    pkt.pop()
+    assert isinstance(pkt.outermost(), UdpHeader)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(ValueError):
+        Packet().pop()
+    with pytest.raises(ValueError):
+        Packet().outermost()
+
+
+def test_encap_then_decap_roundtrip():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8")
+    inner_before = pkt.inner_ip()
+    gtpu_encap(pkt, teid=42, tunnel_src="172.16.0.1", tunnel_dst="172.16.0.2")
+    assert pkt.is_tunneled()
+    assert pkt.find(GtpuHeader).teid == 42
+    assert pkt.outermost().src == "172.16.0.1"
+
+    gtpu_decap(pkt)
+    assert not pkt.is_tunneled()
+    assert pkt.inner_ip() is inner_before
+    assert pkt.metadata["decapped_teid"] == 42
+    assert pkt.metadata["decapped_from"] == "172.16.0.1"
+
+
+def test_decap_non_tunneled_raises():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8")
+    with pytest.raises(ValueError):
+        gtpu_decap(pkt)
+
+
+def test_decap_wrong_udp_port_raises():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8")
+    pkt.push(UdpHeader(sport=9999, dport=9999))
+    pkt.push(IPv4Header("1.1.1.1", "2.2.2.2"))
+    with pytest.raises(ValueError):
+        gtpu_decap(pkt)
+
+
+def test_inner_ip_skips_tunnel_layers():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8")
+    gtpu_encap(pkt, 1, "172.16.0.1", "172.16.0.2")
+    assert pkt.inner_ip().src == "10.0.0.5"
+
+
+def test_copy_is_independent():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8")
+    clone = pkt.copy()
+    assert clone.packet_id != pkt.packet_id
+    clone.inner_ip().src = "10.9.9.9"
+    assert pkt.inner_ip().src == "10.0.0.5"
+
+
+def test_packet_ids_unique():
+    assert ip_packet("a", "b").packet_id != ip_packet("a", "b").packet_id

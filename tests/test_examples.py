@@ -1,0 +1,26 @@
+"""Every example script must run to completion (end-to-end smoke)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", "quickstart complete"),
+    ("rural_isp.py", "rural ISP scenario complete"),
+    ("accessparks_backhaul.py", "AccessParks scenario complete"),
+    ("neutral_host.py", "neutral host scenario complete"),
+    ("enterprise_5g.py", "enterprise 5G scenario complete"),
+]
+
+
+@pytest.mark.parametrize("script,sentinel", EXAMPLES)
+def test_example_runs(script, sentinel):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert sentinel in result.stdout

@@ -1,0 +1,191 @@
+"""Edge cases for the RAN models (eNodeB, gNB, 5G UE) and RPC internals."""
+
+import pytest
+
+from repro.fiveg import Gnb, Ue5g, Ue5gState
+from repro.lte import CellCapacityError, Enodeb, Ue, make_imsi
+from repro.net import Link, Network, RpcChannel, RpcError, RpcServer
+from repro.sim import RngRegistry, Simulator
+
+from helpers import build_site, subscriber_keys
+
+
+# -- eNodeB edges -------------------------------------------------------------------
+
+
+def test_enb_rejects_rrc_before_s1_setup():
+    site = build_site(num_ues=1, do_s1_setup=False)
+    with pytest.raises(CellCapacityError, match="S1 not established"):
+        site.enbs[0].rrc_connect(site.ue(0))
+    assert site.enbs[0].stats["rrc_rejects"] == 1
+
+
+def test_enb_rrc_connect_idempotent():
+    site = build_site(num_ues=1)
+    context1 = site.enbs[0].rrc_connect(site.ue(0))
+    context2 = site.enbs[0].rrc_connect(site.ue(0))
+    assert context1 is context2
+    assert site.enbs[0].connected_ues() == 1
+
+
+def test_enb_uplink_after_release_is_dropped():
+    from repro.lte import nas
+    site = build_site(num_ues=1)
+    ue = site.ue(0)
+    site.enbs[0].rrc_connect(ue)
+    site.enbs[0].rrc_release(ue)
+    before = site.enbs[0].stats["uplink_nas"]
+    site.enbs[0].uplink_nas(ue, nas.AttachRequest(imsi=ue.imsi))
+    assert site.enbs[0].stats["uplink_nas"] == before
+
+
+def test_enb_downlink_for_unknown_ue_reports_undelivered():
+    from repro.lte import s1ap
+    site = build_site(num_ues=1)
+    result = site.enbs[0]._on_downlink_nas(
+        s1ap.DownlinkNasTransport(enb_ue_id=999, mme_ue_id=1, nas=None))
+    assert result == {"delivered": False}
+
+
+def test_enb_context_setup_for_unknown_ue_fails():
+    from repro.lte import s1ap
+    site = build_site(num_ues=1)
+    response = site.enbs[0]._on_initial_context_setup(
+        s1ap.InitialContextSetupRequest(
+            enb_ue_id=999, mme_ue_id=1, ue_agg_max_bitrate_mbps=1.0,
+            agw_teid=1, agw_address="agw-1"))
+    assert not response.success
+
+
+def test_enb_s1_path_failure_with_no_ues_is_noop():
+    site = build_site(num_ues=0)
+    site.enbs[0].s1_path_failure()  # must not raise
+
+
+# -- 5G UE edges --------------------------------------------------------------------
+
+
+def build_5g():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(5))
+    from repro.core.agw import AccessGateway, SubscriberProfile
+    from repro.net import backhaul
+    agw = AccessGateway(sim, network, "agw-1")
+    network.connect("gnb-1", "agw-1", backhaul.lan())
+    gnb = Gnb(sim, network, "gnb-1", "agw-1")
+    gnb.ng_setup()
+    sim.run(until=1.0)
+    imsi = make_imsi(1)
+    k, opc = subscriber_keys(1)
+    agw.subscriberdb.upsert(SubscriberProfile(imsi=imsi, k=k, opc=opc))
+    ue = Ue5g(sim, imsi, k, opc, gnb)
+    return sim, network, agw, gnb, ue
+
+
+def test_5g_register_twice_second_rejected_fast():
+    sim, network, agw, gnb, ue = build_5g()
+    ok = sim.run_until_triggered(ue.register(), limit=60.0)
+    assert ok
+    second = ue.register()
+    assert sim.run_until_triggered(second, limit=sim.now + 5.0) is False
+
+
+def test_5g_pdu_twice_second_fails_fast():
+    sim, network, agw, gnb, ue = build_5g()
+    sim.run_until_triggered(ue.register(), limit=60.0)
+    sim.run_until_triggered(ue.establish_pdu_session(), limit=sim.now + 60.0)
+    second = ue.establish_pdu_session()
+    assert sim.run_until_triggered(second, limit=sim.now + 5.0) is False
+
+
+def test_5g_register_times_out_when_agw_down():
+    sim, network, agw, gnb, ue = build_5g()
+    network.set_node_up("agw-1", False)
+    ue.guard_timer = 5.0
+    ok = sim.run_until_triggered(ue.register(), limit=60.0)
+    assert not ok
+    assert ue.state == Ue5gState.DEREGISTERED
+
+
+def test_5g_deregister_before_register_is_noop():
+    sim, network, agw, gnb, ue = build_5g()
+    ue.deregister()  # must not raise
+    assert ue.state == Ue5gState.DEREGISTERED
+
+
+def test_5g_fragile_baseband_sticks():
+    sim, network, agw, gnb, ue = build_5g()
+    ue.fragile_baseband = True
+    sim.run_until_triggered(ue.register(), limit=60.0)
+    ue.notify_session_error("test")
+    assert ue.state == Ue5gState.STUCK
+    assert ue.stats["session_errors"] == 1
+
+
+def test_gnb_rejects_before_ng_setup():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(5))
+    network.add_node("core")
+    gnb = Gnb(sim, network, "gnb-x", "core")
+    imsi = make_imsi(1)
+    k, opc = subscriber_keys(1)
+    ue = Ue5g(sim, imsi, k, opc, gnb)
+    with pytest.raises(CellCapacityError):
+        gnb.rrc_connect(ue)
+
+
+# -- RPC server internals ---------------------------------------------------------------
+
+
+def test_rpc_in_flight_duplicate_not_reprocessed():
+    """A retransmitted request arriving while the generator handler is
+    still running must not start a second handler."""
+    sim = Simulator()
+    network = Network(sim, RngRegistry(1))
+    network.connect("c", "s", Link(latency=0.01))
+    server = RpcServer(sim, network, "s")
+    started = []
+
+    def slow(request):
+        started.append(request)
+        yield sim.timeout(2.0)
+        return "done"
+
+    server.register("svc", "slow", slow)
+    channel = RpcChannel(sim, network, "c", "s", retry_interval=0.1)
+    results = []
+
+    def caller(sim):
+        response = yield channel.call("svc", "slow", "x", deadline=10.0)
+        results.append(response)
+
+    sim.spawn(caller(sim))
+    sim.run(until=20.0)
+    assert results == ["done"]
+    assert len(started) == 1              # deduplicated while in flight
+    assert server.stats["duplicates"] > 0  # retries did arrive
+
+
+def test_rpc_response_cache_bounded():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(1))
+    network.connect("c", "s", Link(latency=0.001))
+    server = RpcServer(sim, network, "s")
+    server.register("svc", "echo", lambda r: r)
+    channel = RpcChannel(sim, network, "c", "s")
+
+    def caller(sim, i):
+        yield channel.call("svc", "echo", i)
+
+    for i in range(200):
+        sim.spawn(caller(sim, i))
+    sim.run()
+    assert len(server._response_cache) <= 10_000
+
+
+def test_rpc_error_str():
+    error = RpcError(RpcError.DEADLINE_EXCEEDED, "too slow")
+    assert "DEADLINE_EXCEEDED" in str(error)
+    assert error.detail == "too slow"
+    bare = RpcError(RpcError.INTERNAL)
+    assert str(bare) == "INTERNAL"

@@ -1,0 +1,113 @@
+"""Sessiond edge cases: pool exhaustion, reattach, OCS unreachable, teids."""
+
+import pytest
+
+from repro.core.agw import AgwConfig, SessionError
+from repro.lte import UeConfig, UeState
+
+from helpers import build_site
+
+
+def test_ip_pool_exhaustion_rejects_attach_cleanly():
+    """A full address pool must produce an AttachReject, not a hang."""
+    site2 = build_site(num_ues=3, config=AgwConfig(ip_block="10.128.0.0/30"),
+                       seed=2)
+    outcomes = []
+    for ue in site2.ues:
+        outcomes.append(site2.run_attach(ue))
+    successes = [o for o in outcomes if o.success]
+    failures = [o for o in outcomes if not o.success]
+    assert len(successes) == 2          # /30 has 2 usable hosts
+    assert len(failures) == 1
+    # The failed UE got a *reject* (fast), not a T3410 timeout.
+    assert "no IP available" in failures[0].cause
+    assert site2.agw.mme.stats["attach_rejected"] == 1
+
+
+def test_session_teid_reused_after_release():
+    site = build_site(num_ues=1)
+    ue = site.ue(0)
+    assert site.run_attach(ue).success
+    site.sim.run(until=site.sim.now + 2.0)
+    teid = site.agw.sessiond.session(ue.imsi).agw_teid
+    ue.detach()
+    site.sim.run(until=site.sim.now + 2.0)
+    outcome = site.run_attach(ue)
+    assert outcome.success
+    site.sim.run(until=site.sim.now + 2.0)
+    assert site.agw.sessiond.session(ue.imsi).agw_teid == teid
+
+
+def test_record_usage_for_unknown_imsi_is_noop():
+    site = build_site(num_ues=1)
+    site.agw.sessiond.record_usage("9" * 15, dl_bytes=100, ul_bytes=0)
+    assert site.agw.sessiond.session_count() == 0
+
+
+def test_terminate_unknown_session_returns_false():
+    site = build_site(num_ues=1)
+    assert site.agw.sessiond.terminate_session("9" * 15) is False
+
+
+def test_allowed_rate_for_unknown_is_zero():
+    site = build_site(num_ues=1)
+    assert site.agw.sessiond.allowed_rate("9" * 15) == 0.0
+
+
+def test_online_policy_without_ocs_rejects():
+    from repro.core.policy import prepaid
+    site = build_site(num_ues=1,
+                      policies={"prepaid": prepaid("prepaid")},
+                      policy_id="prepaid")  # no OCS configured at all
+    outcome = site.run_attach(site.ue(0))
+    assert not outcome.success
+
+
+def test_ocs_unreachable_over_network_rejects_attach():
+    """OCS reached over RPC but its node is down: quota call fails and the
+    attach is rejected rather than hanging."""
+    from repro.core.agw import AccessGateway, SubscriberProfile
+    from repro.core.policy import prepaid
+    from repro.lte import Enodeb, Ue, make_imsi
+    from repro.net import Network, backhaul
+    from repro.sim import RngRegistry, Simulator
+    from helpers import subscriber_keys
+
+    sim = Simulator()
+    network = Network(sim, RngRegistry(3))
+    network.add_node("ocs-node")
+    network.connect("agw-1", "ocs-node", backhaul.fiber())
+    agw = AccessGateway(sim, network, "agw-1", ocs_node="ocs-node")
+    agw.policydb.upsert(prepaid("prepaid"))
+    network.connect("enb-1", "agw-1", backhaul.lan())
+    enb = Enodeb(sim, network, "enb-1", "agw-1")
+    imsi = make_imsi(1)
+    k, opc = subscriber_keys(1)
+    agw.subscriberdb.upsert(SubscriberProfile(imsi=imsi, k=k, opc=opc,
+                                              policy_id="prepaid"))
+    enb.s1_setup()
+    sim.run(until=1.0)
+    network.set_node_up("ocs-node", False)
+    ue = Ue(sim, imsi, k, opc, enb, config=UeConfig(attach_guard_timer=20.0))
+    done = ue.attach()
+    outcome = sim.run_until_triggered(done, limit=60.0)
+    assert not outcome.success
+    assert ue.state == UeState.DEREGISTERED
+
+
+def test_reattach_while_active_replaces_session_once():
+    site = build_site(num_ues=1)
+    ue = site.ue(0)
+    assert site.run_attach(ue).success
+    site.sim.run(until=site.sim.now + 2.0)
+    first_id = site.agw.sessiond.session(ue.imsi).session_id
+    # UE reboots without detach and attaches again.
+    ue.state = UeState.DEREGISTERED
+    ue.enb.rrc_release(ue)
+    assert site.run_attach(ue).success
+    site.sim.run(until=site.sim.now + 2.0)
+    session = site.agw.sessiond.session(ue.imsi)
+    assert session.session_id != first_id
+    assert site.agw.sessiond.session_count() == 1
+    # The replaced session produced a CDR with reason tracking.
+    assert len(site.agw.accounting) == 1

@@ -1,0 +1,192 @@
+"""Unit tests for the quantized CPU model (the Fig. 5-8 substrate)."""
+
+import pytest
+
+from repro.sim import CpuModel, Monitor, Simulator
+
+
+def run_task(sim, cpu, cls, demand, results):
+    done = cpu.submit(cls, demand)
+
+    def waiter(sim):
+        sojourn = yield done
+        results.append((sim.now, sojourn))
+
+    sim.spawn(waiter(sim))
+
+
+def test_single_task_completes_in_about_demand():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    results = []
+    run_task(sim, cpu, "cp", 0.5, results)
+    sim.run()
+    finish, sojourn = results[0]
+    assert 0.45 <= finish <= 0.6
+    assert sojourn == pytest.approx(finish, abs=0.06)
+
+
+def test_single_task_cannot_use_multiple_cores():
+    """A single-threaded task on 4 cores still takes ~its demand."""
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=4, quantum=0.05)
+    results = []
+    run_task(sim, cpu, "cp", 1.0, results)
+    sim.run()
+    finish, _ = results[0]
+    assert finish >= 1.0
+
+
+def test_parallel_tasks_use_parallel_cores():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=4, quantum=0.05)
+    results = []
+    for _ in range(4):
+        run_task(sim, cpu, "cp", 1.0, results)
+    sim.run()
+    # All four should finish around t=1.0, not serialized to t=4.0.
+    assert max(t for t, _ in results) <= 1.2
+
+
+def test_overload_queues_tasks_fifo():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    results = []
+    for _ in range(3):
+        run_task(sim, cpu, "cp", 1.0, results)
+    sim.run()
+    finishes = sorted(t for t, _ in results)
+    assert finishes[0] == pytest.approx(1.0, abs=0.2)
+    assert finishes[2] == pytest.approx(3.0, abs=0.3)
+
+
+def test_fluid_demand_served_when_capacity_available():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=2, quantum=0.05)
+    cpu.set_fluid_demand("up", "traffic", 1.0)  # 1 core-sec/s on 2 cores
+    sim.run(until=1.0)
+    assert cpu.fluid_service_fraction("up") == pytest.approx(1.0)
+    assert cpu.fluid_served_rate("up") == pytest.approx(1.0, rel=0.01)
+
+
+def test_fluid_demand_clipped_at_capacity():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    cpu.set_fluid_demand("up", "traffic", 2.0)  # 2 core-sec/s on 1 core
+    sim.run(until=1.0)
+    assert cpu.fluid_served_rate("up") == pytest.approx(1.0, rel=0.01)
+    assert cpu.fluid_service_fraction("up") == pytest.approx(0.5, rel=0.02)
+
+
+def test_static_partition_isolates_classes():
+    """Control tasks must not borrow idle user-plane cores when partitioned."""
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=4, quantum=0.05, partition={"cp": 1, "up": 3})
+    results = []
+    for _ in range(4):
+        run_task(sim, cpu, "cp", 1.0, results)
+    sim.run()
+    # 4 tasks x 1.0s demand on 1 core => serialized, last finishes ~4.0s.
+    assert max(t for t, _ in results) >= 3.8
+
+
+def test_flexible_mode_shares_idle_capacity():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=4, quantum=0.05)
+    results = []
+    for _ in range(4):
+        run_task(sim, cpu, "cp", 1.0, results)
+    cpu.set_fluid_demand("up", "traffic", 0.0)
+    sim.run()
+    assert max(t for t, _ in results) <= 1.2
+
+
+def test_contention_between_fluid_and_discrete_flexible():
+    """Under full fluid load, discrete tasks slow down proportionally."""
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    cpu.set_fluid_demand("up", "traffic", 1.0)  # saturates the single core
+    results = []
+    run_task(sim, cpu, "cp", 0.5, results)
+    sim.run(until=5.0)
+    finish, _ = results[0]
+    # Fair share: task gets roughly half the core until done => ~2x slowdown
+    # (plus the fluid demand keeps the core saturated before/after).
+    assert finish >= 0.9
+
+
+def test_partition_protects_control_plane_from_fluid():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=2, quantum=0.05, partition={"cp": 1, "up": 1})
+    cpu.set_fluid_demand("up", "traffic", 5.0)  # way oversaturated UP pool
+    results = []
+    run_task(sim, cpu, "cp", 0.5, results)
+    sim.run(until=5.0)
+    finish, _ = results[0]
+    assert finish <= 0.7  # unaffected by user-plane overload
+
+
+def test_utilization_recorded_to_monitor():
+    sim = Simulator()
+    monitor = Monitor()
+    cpu = CpuModel(sim, cores=2, quantum=0.1, monitor=monitor, name="agw")
+    cpu.set_fluid_demand("up", "traffic", 1.0)
+    sim.run(until=2.0)
+    util = monitor.series("cpu.agw.util")
+    assert len(util) > 10
+    assert util.mean() == pytest.approx(0.5, abs=0.05)
+
+
+def test_partition_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CpuModel(sim, cores=2, partition={"cp": 1, "up": 2})
+    with pytest.raises(ValueError):
+        CpuModel(sim, cores=0)
+    with pytest.raises(ValueError):
+        CpuModel(sim, cores=1, quantum=0)
+
+
+def test_submit_validation():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1)
+    with pytest.raises(ValueError):
+        cpu.submit("cp", 0)
+    with pytest.raises(ValueError):
+        cpu.set_fluid_demand("up", "x", -1)
+
+
+def test_queue_depth_and_queued_work():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    cpu.submit("cp", 1.0)
+    cpu.submit("cp", 1.0)
+    assert cpu.queue_depth("cp") == 2
+    assert cpu.queued_work("cp") == pytest.approx(2.0)
+    sim.run()
+    assert cpu.queue_depth("cp") == 0
+    assert cpu.queued_work("cp") == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cpu_goes_idle_and_wakes_again():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    results = []
+    run_task(sim, cpu, "cp", 0.1, results)
+    sim.run()
+    first_finish = results[0][0]
+    # Submit again after idle period.
+    sim.schedule(0.0, lambda: run_task(sim, cpu, "cp", 0.1, results))
+    sim.run()
+    assert len(results) == 2
+    assert results[1][0] > first_finish
+
+
+def test_fluid_demand_source_removal():
+    sim = Simulator()
+    cpu = CpuModel(sim, cores=1, quantum=0.05)
+    cpu.set_fluid_demand("up", "a", 0.4)
+    cpu.set_fluid_demand("up", "b", 0.3)
+    assert cpu.fluid_demand("up") == pytest.approx(0.7)
+    cpu.set_fluid_demand("up", "a", 0.0)
+    assert cpu.fluid_demand("up") == pytest.approx(0.3)

@@ -1,0 +1,329 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    Event,
+    Interrupted,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(("b", sim.now)))
+    sim.schedule(1.0, lambda: seen.append(("a", sim.now)))
+    sim.schedule(3.0, lambda: seen.append(("c", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_schedule_ties_run_fifo():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    stopped = sim.run(until=4.0)
+    assert stopped == 4.0
+    assert sim.now == 4.0
+    # Event still queued; continuing reaches it.
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_process_timeout_and_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        return 42
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.triggered and p.ok
+    assert p.value == 42
+    assert sim.now == 1.5
+
+
+def test_timeout_delivers_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, "payload")
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_process_waits_on_event_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def proc(sim):
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.schedule(3.0, ev.succeed, "hello")
+    sim.run()
+    assert got == [(3.0, "hello")]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_waiting_on_failed_event_raises_in_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def proc(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(proc(sim))
+    sim.schedule(1.0, ev.fail, RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    got = []
+
+    def proc(sim):
+        value = yield ev
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["early"]
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.spawn(child(sim))
+        return ("parent-saw", result)
+
+    p = sim.spawn(parent(sim))
+    sim.run()
+    assert p.value == ("parent-saw", "child-result")
+
+
+def test_process_exception_fails_process_event():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("broken")
+
+    p = sim.spawn(bad(sim))
+    sim.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, ValueError)
+
+
+def test_exception_propagates_to_waiting_parent():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child broke")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    p = sim.spawn(parent(sim))
+    sim.run()
+    assert p.value == "caught: child broke"
+
+
+def test_interrupt_during_timeout():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("finished")
+        except Interrupted as exc:
+            log.append(("interrupted", sim.now, exc.cause))
+
+    p = sim.spawn(sleeper(sim))
+    sim.schedule(5.0, p.interrupt, "reason")
+    sim.run()
+    assert log == [("interrupted", 5.0, "reason")]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(quick(sim))
+    sim.run()
+    p.interrupt()  # must not raise
+    sim.run()
+    assert p.ok
+
+
+def test_uncaught_interrupt_fails_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    p = sim.spawn(sleeper(sim))
+    sim.schedule(1.0, p.interrupt)
+    sim.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, Interrupted)
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+
+    def proc(sim):
+        fast = sim.timeout(1.0, "fast")
+        slow = sim.timeout(5.0, "slow")
+        result = yield sim.any_of([fast, slow])
+        return list(result.values())
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == ["fast"]
+    assert sim.now == 5.0  # the slow timeout still fires
+
+
+def test_all_of_collects_all_values():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(1.0, "a")
+        b = sim.timeout(2.0, "b")
+        result = yield sim.all_of([a, b])
+        return sorted(result.values())
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == ["a", "b"]
+
+
+def test_any_of_empty_completes_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        result = yield sim.any_of([])
+        return result
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == {}
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    p = sim.spawn(bad(sim))
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_run_until_triggered_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    p = sim.spawn(proc(sim))
+    assert sim.run_until_triggered(p) == "done"
+
+
+def test_run_until_triggered_deadlock_detection():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_triggered(ev)
+
+
+def test_nested_processes_deep_chain():
+    sim = Simulator()
+
+    def level(sim, n):
+        if n == 0:
+            yield sim.timeout(1.0)
+            return 0
+        result = yield sim.spawn(level(sim, n - 1))
+        return result + 1
+
+    p = sim.spawn(level(sim, 20))
+    sim.run()
+    assert p.value == 20

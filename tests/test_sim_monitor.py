@@ -1,0 +1,121 @@
+"""Unit tests for monitors, series, and percentile helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Monitor, Series, median, percentile
+
+
+def test_series_record_and_iterate():
+    s = Series("x")
+    s.record(0.0, 1.0)
+    s.record(1.0, 2.0)
+    assert list(s) == [(0.0, 1.0), (1.0, 2.0)]
+    assert len(s) == 2
+
+
+def test_series_rejects_time_regression():
+    s = Series("x")
+    s.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        s.record(4.0, 1.0)
+
+
+def test_series_stats():
+    s = Series("x")
+    for t, v in enumerate([1.0, 3.0, 5.0]):
+        s.record(float(t), v)
+    assert s.mean() == 3.0
+    assert s.total() == 9.0
+    assert s.max() == 5.0
+    assert s.last() == 5.0
+
+
+def test_empty_series_stats_raise():
+    s = Series("x")
+    with pytest.raises(ValueError):
+        s.mean()
+    with pytest.raises(ValueError):
+        s.max()
+    with pytest.raises(ValueError):
+        s.last()
+
+
+def test_series_between():
+    s = Series("x")
+    for t in range(10):
+        s.record(float(t), float(t))
+    sub = s.between(2.0, 5.0)
+    assert sub.times == [2.0, 3.0, 4.0]
+
+
+def test_binned_mean():
+    s = Series("x")
+    for t in range(10):
+        s.record(float(t), float(t))
+    bins = s.binned(5.0, t0=0.0, t1=10.0, agg="mean")
+    assert bins == [(0.0, 2.0), (5.0, 7.0)]
+
+
+def test_binned_count_and_sum():
+    s = Series("x")
+    for t in [0.1, 0.2, 5.5]:
+        s.record(t, 2.0)
+    bins_count = s.binned(5.0, t0=0.0, t1=10.0, agg="count")
+    bins_sum = s.binned(5.0, t0=0.0, t1=10.0, agg="sum")
+    assert bins_count == [(0.0, 2.0), (5.0, 1.0)]
+    assert bins_sum == [(0.0, 4.0), (5.0, 2.0)]
+
+
+def test_binned_empty_bin_is_nan_for_mean():
+    s = Series("x")
+    s.record(0.0, 1.0)
+    bins = s.binned(1.0, t0=0.0, t1=3.0, agg="mean")
+    assert bins[0][1] == 1.0
+    assert math.isnan(bins[1][1])
+    assert math.isnan(bins[2][1])
+
+
+def test_binned_validation():
+    s = Series("x")
+    with pytest.raises(ValueError):
+        s.binned(0.0)
+    with pytest.raises(ValueError):
+        s.binned(1.0, agg="bogus")
+
+
+def test_percentile_and_median():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 50) == 3.0
+    assert median(data) == 3.0
+    assert percentile([7.0], 50) == 7.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == 1.5
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_monitor_series_and_counters():
+    m = Monitor()
+    m.record("throughput", 0.0, 100.0)
+    m.record("throughput", 1.0, 200.0)
+    m.count("attach.success")
+    m.count("attach.success")
+    m.count("attach.fail", 0.5)
+    assert m.series("throughput").mean() == 150.0
+    assert m.counter("attach.success") == 2.0
+    assert m.counter("attach.fail") == 0.5
+    assert m.counter("missing") == 0.0
+    assert m.has_series("throughput")
+    assert not m.has_series("nope")
+    assert set(m.counters()) == {"attach.success", "attach.fail"}

@@ -1,0 +1,146 @@
+"""Unit tests for Resource, Store, and Signal."""
+
+import pytest
+
+from repro.sim import Resource, Signal, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    order = []
+
+    def worker(sim, name, hold):
+        yield res.acquire()
+        order.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        res.release()
+        order.append((name, "out", sim.now))
+
+    sim.spawn(worker(sim, "a", 1.0))
+    sim.spawn(worker(sim, "b", 1.0))
+    sim.spawn(worker(sim, "c", 1.0))
+    sim.run()
+    ins = [(n, t) for (n, what, t) in order if what == "in"]
+    assert ins == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_queue_length_visibility():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        yield res.acquire()
+        yield sim.timeout(10.0)
+        res.release()
+
+    def waiter(sim):
+        yield res.acquire()
+        res.release()
+
+    sim.spawn(holder(sim))
+    sim.spawn(waiter(sim))
+    sim.run(until=1.0)
+    assert res.in_use == 1
+    assert res.queue_length == 1
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.spawn(consumer(sim))
+    for i in range(3):
+        store.put(i)
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.spawn(consumer(sim))
+    sim.schedule(5.0, store.put, "late")
+    sim.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_drain_empties_queue():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.drain() == [1, 2]
+    assert len(store) == 0
+
+
+def test_signal_wakes_all_waiters_each_fire():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def waiter(sim, name):
+        value = yield signal.wait()
+        got.append((name, value))
+
+    sim.spawn(waiter(sim, "w1"))
+    sim.spawn(waiter(sim, "w2"))
+    sim.schedule(1.0, signal.fire, "ping")
+    sim.run()
+    assert sorted(got) == [("w1", "ping"), ("w2", "ping")]
+
+
+def test_signal_is_reusable():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def waiter(sim):
+        for _ in range(2):
+            value = yield signal.wait()
+            got.append(value)
+
+    sim.spawn(waiter(sim))
+    sim.schedule(1.0, signal.fire, 1)
+    sim.schedule(2.0, signal.fire, 2)
+    sim.run()
+    assert got == [1, 2]
+
+
+def test_signal_fire_returns_woken_count():
+    sim = Simulator()
+    signal = Signal(sim)
+
+    def waiter(sim):
+        yield signal.wait()
+
+    sim.spawn(waiter(sim))
+    sim.spawn(waiter(sim))
+    sim.run(until=0.5)
+    assert signal.fire() == 2
+    assert signal.fire() == 0

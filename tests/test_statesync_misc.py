@@ -1,0 +1,108 @@
+"""StateSync direct units + misc small-module coverage."""
+
+import pytest
+
+from repro.core.agw import SubscriberProfile
+from repro.core.orchestrator import ConfigStore, Metricsd, StateSync
+from repro.experiments.common import format_table
+from repro.sim import Simulator
+
+
+def make_statesync():
+    sim = Simulator()
+    store = ConfigStore()
+    metricsd = Metricsd()
+    return sim, store, StateSync(sim, store, metricsd)
+
+
+def checkin(sync, gateway_id, version=0, network_id="default", **extra):
+    request = {"gateway_id": gateway_id, "config_version": version,
+               "network_id": network_id}
+    request.update(extra)
+    return sync.handle_checkin(request)
+
+
+def test_first_checkin_registers_gateway():
+    sim, store, sync = make_statesync()
+    response = checkin(sync, "agw-1")
+    assert sync.gateway_count() == 1
+    assert sync.gateway("agw-1").checkins == 1
+    assert response["config_version"] == 0
+    assert response["config"] is None  # already current (version 0 == 0)
+
+
+def test_stale_gateway_receives_full_bundle():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "imsi1", SubscriberProfile(imsi="1" * 15))
+    response = checkin(sync, "agw-1", version=0)
+    assert response["config"] is not None
+    assert "imsi1" in response["config"]["subscribers"]
+    # Once caught up, no bundle is sent.
+    response = checkin(sync, "agw-1", version=store.version)
+    assert response["config"] is None
+
+
+def test_stale_gateways_listing():
+    sim, store, sync = make_statesync()
+    checkin(sync, "agw-1", version=0)
+    store.put("policies", "p", {"x": 1})
+    assert sync.stale_gateways() == ["agw-1"]
+    checkin(sync, "agw-1", version=store.version)
+    assert sync.stale_gateways() == []
+
+
+def test_offline_gateways_by_age():
+    sim, store, sync = make_statesync()
+    checkin(sync, "agw-1")
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    checkin(sync, "agw-2")
+    assert sync.offline_gateways(max_age=50.0) == ["agw-1"]
+    assert sync.offline_gateways(max_age=500.0) == []
+
+
+def test_bundle_cache_reused_until_version_changes():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "a", 1)
+    bundle1 = sync.config_bundle()
+    bundle2 = sync.config_bundle()
+    assert bundle1 is bundle2
+    store.put("subscribers", "b", 2)
+    bundle3 = sync.config_bundle()
+    assert bundle3 is not bundle1
+    assert "b" in bundle3["subscribers"]
+
+
+def test_checkin_metrics_land_in_metricsd():
+    sim, store, sync = make_statesync()
+    checkin(sync, "agw-1", metrics={"sessions_active": 7.0})
+    sample = sync.metricsd.latest("sessions_active", {"gateway": "agw-1"})
+    assert sample.value == 7.0
+
+
+def test_bundles_isolated_per_network():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "a", 1)                 # default network
+    store.put("subscribers@tenant", "b", 2)          # tenant network
+    assert "a" in sync.config_bundle("default")["subscribers"]
+    assert "a" not in sync.config_bundle("tenant")["subscribers"]
+    assert "b" in sync.config_bundle("tenant")["subscribers"]
+
+
+# -- format_table -----------------------------------------------------------------
+
+
+def test_format_table_alignment_and_floats():
+    text = format_table(["name", "value"],
+                        [["short", 1.5], ["much-longer-name", 22.0]])
+    lines = text.split("\n")
+    assert lines[0].startswith("name")
+    assert "1.50" in text
+    assert "22.00" in text
+    # All rows padded to the same width structure.
+    assert len(lines) == 4
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
