@@ -1,0 +1,206 @@
+"""BENCH: the AGW session hot path at scale (ROADMAP north star).
+
+Three workloads that dominate a production gateway's session-state cost:
+
+- **bulk attach**: programming thousands of sessions into the data plane,
+  batched (one OpenFlow bundle) vs. per-session control messages;
+- **crash-recovery restore**: ``Sessiond.restore()`` of a 10k-session
+  checkpoint - correctness (allocator seeding) rides the same path;
+- **check-in storm**: thousands of stale gateways pulling config from one
+  orchestrator - the versioned delta cache must rebuild the bundle once.
+
+Run with::
+
+    pytest benchmarks/test_bench_session_hotpath.py --benchmark-only -s
+"""
+
+import time
+
+import pytest
+
+from repro.core.agw import AgwContext, Pipelined, Sessiond, SubscriberProfile
+from repro.core.agw.mobilityd import Mobilityd
+from repro.core.agw.policydb import PolicyDb
+from repro.core.agw.subscriberdb import SubscriberDb
+from repro.core.orchestrator import ConfigStore, StateSync
+from repro.experiments.common import format_table
+from repro.lte import make_imsi
+from repro.net import Network
+from repro.sim import Simulator
+
+from conftest import run_once
+
+
+def make_pipelined(node="agw-bench"):
+    sim = Simulator()
+    network = Network(sim)
+    return Pipelined(AgwContext(sim, network, node))
+
+
+def make_sessiond(node="agw-bench"):
+    sim = Simulator()
+    network = Network(sim)
+    context = AgwContext(sim, network, node)
+    pipelined = Pipelined(context)
+    mobilityd = Mobilityd()
+    return Sessiond(context, SubscriberDb(), PolicyDb(), mobilityd, pipelined)
+
+
+def synthetic_snapshot(n, node="agw-bench"):
+    """A checkpoint of ``n`` active sessions, as Sessiond.checkpoint emits."""
+    entries = []
+    for i in range(n):
+        entries.append({
+            "session_id": f"{node}-s{i + 1}",
+            "imsi": make_imsi(i + 1),
+            "ue_ip": f"10.{128 + (i >> 16)}.{(i >> 8) & 0xFF}.{i & 0xFF}",
+            "policy_id": "default",
+            "agw_teid": 0x1000 + i,
+            "enb_teid": 0x80000 + i,
+            "enb_node": "enb-1",
+            "state": "active",
+            "start_time": 0.0,
+            "bytes_dl": 1000 * i,
+            "bytes_ul": 100 * i,
+            "installed_rate_mbps": 20.0,
+            "home_routed": False,
+            "connected": (i % 3 != 0),
+            "total_bytes": 1100 * i,
+            "interval_bytes": 0,
+            "interval_start": 0.0,
+            "quota_remaining": 0,
+            "quota_grant_id": None,
+            "last_grant_size": 0,
+        })
+    return entries
+
+
+def program_sessions(pipelined, entries, batched):
+    """Install every session (+ its eNB tunnel), batched or one-by-one."""
+    def install_all():
+        for entry in entries:
+            pipelined.install_session(entry["imsi"], entry["ue_ip"],
+                                      entry["agw_teid"],
+                                      entry["installed_rate_mbps"])
+            pipelined.set_enb_tunnel(entry["imsi"], entry["enb_teid"],
+                                     entry["enb_node"])
+    if batched:
+        with pipelined.batch():
+            install_all()
+    else:
+        install_all()
+
+
+BULK_ATTACH_N = 5000
+RESTORE_N = 10_000
+STORM_GATEWAYS = 2000
+
+
+@pytest.mark.benchmark(group="session-hotpath")
+def test_bulk_attach_batched_vs_sequential(benchmark):
+    entries = synthetic_snapshot(BULK_ATTACH_N)
+
+    sequential = make_pipelined("agw-seq")
+    t0 = time.perf_counter()
+    program_sessions(sequential, entries, batched=False)
+    sequential_s = time.perf_counter() - t0
+    sequential_msgs = sequential.switch.stats["control_msgs"]
+
+    batched = make_pipelined("agw-bat")
+    t0 = time.perf_counter()
+    run_once(benchmark, program_sessions, batched, entries, True)
+    batched_s = time.perf_counter() - t0
+    batched_msgs = batched.switch.stats["control_msgs"]
+
+    print()
+    print(format_table(
+        ["mode", "sessions", "control msgs", "msgs/session", "seconds"],
+        [["per-session", BULK_ATTACH_N, sequential_msgs,
+          sequential_msgs / BULK_ATTACH_N, sequential_s],
+         ["batched", BULK_ATTACH_N, batched_msgs,
+          batched_msgs / BULK_ATTACH_N, batched_s]]))
+
+    assert batched.session_count() == BULK_ATTACH_N
+    # Identical data-plane state: same rule/meter population.
+    for table_seq, table_bat in zip(sequential.switch.tables,
+                                    batched.switch.tables):
+        assert len(table_seq) == len(table_bat)
+    assert len(sequential.switch.meters) == len(batched.switch.meters)
+    # The point of the bundle API: >= 2x fewer control operations
+    # (in practice: one bundle vs ~6 messages per session).
+    assert batched_msgs * 2 <= sequential_msgs
+
+
+@pytest.mark.benchmark(group="session-hotpath")
+def test_restore_10k_sessions_batched(benchmark):
+    snapshot = synthetic_snapshot(RESTORE_N)
+
+    # Reference: the data-plane programming a per-session restore performs
+    # (what Sessiond.restore did before the bundle path).
+    reference = make_pipelined("agw-ref")
+    t0 = time.perf_counter()
+    program_sessions(reference, snapshot, batched=False)
+    reference_s = time.perf_counter() - t0
+    reference_msgs = reference.switch.stats["control_msgs"]
+
+    sessiond = make_sessiond()
+    t0 = time.perf_counter()
+    restored = run_once(benchmark, sessiond.restore, snapshot)
+    restore_s = time.perf_counter() - t0
+    switch = sessiond.pipelined.switch
+    restore_msgs = switch.stats["control_msgs"]
+
+    print()
+    print(format_table(
+        ["mode", "sessions", "control msgs", "msgs/session", "seconds"],
+        [["per-session restore", RESTORE_N, reference_msgs,
+          reference_msgs / RESTORE_N, reference_s],
+         ["batched restore", RESTORE_N, restore_msgs,
+          restore_msgs / RESTORE_N, restore_s]]))
+
+    assert restored == RESTORE_N
+    assert switch.stats["bundles"] == 1
+    # >= 2x fewer per-session flow-table operations (acceptance criterion).
+    assert restore_msgs * 2 <= reference_msgs
+    # Restore correctness at scale: allocators seeded past every restored id.
+    record = sessiond.session(make_imsi(1))
+    assert record is not None and record.connected is False
+    sessiond.subscriberdb.upsert(
+        SubscriberProfile(imsi=make_imsi(RESTORE_N + 1)))
+    list(sessiond.create_session(make_imsi(RESTORE_N + 1)))
+    fresh = sessiond.session(make_imsi(RESTORE_N + 1))
+    restored_teids = {e["agw_teid"] for e in snapshot}
+    restored_ids = {e["session_id"] for e in snapshot}
+    assert fresh.agw_teid not in restored_teids
+    assert fresh.session_id not in restored_ids
+
+
+@pytest.mark.benchmark(group="session-hotpath")
+def test_checkin_storm_hits_bundle_cache(benchmark):
+    sim = Simulator()
+    store = ConfigStore()
+    for i in range(2000):
+        store.put("subscribers", make_imsi(i + 1), {"policy": "default"})
+    sync = StateSync(sim, store)
+
+    def storm():
+        for i in range(STORM_GATEWAYS):
+            response = sync.handle_checkin({
+                "gateway_id": f"agw-{i}", "config_version": 0,
+                "network_id": "default"})
+            assert response["config"] is not None
+        return sync.stats
+
+    t0 = time.perf_counter()
+    stats = run_once(benchmark, storm)
+    storm_s = time.perf_counter() - t0
+
+    print()
+    print(format_table(
+        ["gateways", "pushes", "bundle rebuilds", "cache hits", "seconds"],
+        [[STORM_GATEWAYS, stats["config_pushes"], stats["bundle_rebuilds"],
+          stats["bundle_cache_hits"], storm_s]]))
+
+    assert stats["config_pushes"] == STORM_GATEWAYS
+    assert stats["bundle_rebuilds"] == 1
+    assert stats["bundle_cache_hits"] == STORM_GATEWAYS - 1

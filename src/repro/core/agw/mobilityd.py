@@ -38,13 +38,21 @@ class Mobilityd:
         existing = self._assigned.get(imsi)
         if existing is not None:
             return existing
-        if self._free:
-            ip = self._free.pop()
-        else:
+        ip = None
+        while self._free:
+            candidate = self._free.pop()
+            if candidate not in self._reverse:  # purged lazily post-restore
+                ip = candidate
+                break
+        while ip is None:
             try:
                 ip = str(next(self._hosts))
             except StopIteration:
                 raise IpPoolExhausted(f"block {self.ip_block} exhausted") from None
+            if ip in self._reverse:
+                # A restored session already holds this address (the fresh
+                # backup's sequential cursor has no memory of the crash).
+                ip = None
         self._assigned[imsi] = ip
         self._reverse[ip] = imsi
         return ip
@@ -63,6 +71,14 @@ class Mobilityd:
         return self._assigned.get(imsi)
 
     def restore(self, assignments: Dict[str, str]) -> None:
-        """Rebuild assignment state from a checkpoint (crash recovery)."""
+        """Rebuild assignment state from a checkpoint (crash recovery).
+
+        One bulk call replaces the whole assignment table - callers must
+        NOT invoke this per entry (that is O(n^2) across a restore).  Any
+        free-list entry that collides with a restored address is dropped
+        lazily by :meth:`allocate`; addresses the sequential cursor has not
+        reached yet are skipped there too, so post-restore allocations can
+        never hand out an address a restored session still holds.
+        """
         self._assigned = dict(assignments)
         self._reverse = {ip: imsi for imsi, ip in assignments.items()}

@@ -19,12 +19,13 @@ table  role
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ...dataplane import actions as act
 from ...dataplane.matcher import FlowMatch
-from ...dataplane.openflow import FlowMod, MeterMod, StatsRequest
+from ...dataplane.openflow import FlowBundle, FlowMod, MeterMod, StatsRequest
 from ...dataplane.packet import Packet, ip_packet
 from ...dataplane.switch import SoftwareSwitch
 from ..policy.enforcer import UNLIMITED_MBPS
@@ -71,8 +72,46 @@ class Pipelined:
         self.switch.add_port(self.ran_port, self._ran_sink.append)
         self.switch.add_port(self.sgi_port, self._sgi_sink.append)
         self.switch.add_port(self.gtpa_port, self._gtpa_sink.append)
+        # When a batch transaction is open, mods queue here instead of
+        # hitting the switch; commit applies them as one FlowBundle.
+        self._pending: Optional[List[Any]] = None
         self.stats = {"sessions_installed": 0, "sessions_removed": 0,
-                      "rate_changes": 0}
+                      "rate_changes": 0, "batches": 0}
+
+    # -- batched programming (the session hot path) -------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Coalesce session programming into one atomic OpenFlow bundle.
+
+        Everything installed/removed/re-rated inside the ``with`` block is
+        committed as a single :class:`FlowBundle` on exit - one control
+        message and one table sort instead of ~6 switch operations per
+        session.  Used by ``Sessiond.restore()`` and bulk-attach paths.
+        On an exception inside the block, nothing reaches the switch.
+        """
+        if self._pending is not None:
+            yield self          # nested: join the enclosing transaction
+            return
+        self._pending = []
+        try:
+            yield self
+        except BaseException:
+            self._pending = None
+            raise
+        mods, self._pending = self._pending, None
+        if mods:
+            self.switch.apply(FlowBundle(mods=tuple(mods)))
+            self.stats["batches"] += 1
+
+    def in_batch(self) -> bool:
+        return self._pending is not None
+
+    def _apply(self, mod: Any) -> None:
+        if self._pending is not None:
+            self._pending.append(mod)
+        else:
+            self.switch.apply(mod)
 
     # -- port plumbing (tests/examples can replace the sinks) ---------------------
 
@@ -101,21 +140,21 @@ class Pipelined:
             raise ValueError(f"unknown egress port {egress!r}")
         rate = rate_mbps if rate_mbps is not None else UNLIMITED_MBPS
         meter_id = next(self._meter_ids)
-        self.switch.apply(MeterMod(command=MeterMod.ADD, meter_id=meter_id,
-                                   rate_mbps=max(rate, 1e-6)))
+        self._apply(MeterMod(command=MeterMod.ADD, meter_id=meter_id,
+                             rate_mbps=max(rate, 1e-6)))
         flows = SessionFlows(imsi=imsi, ue_ip=ue_ip, agw_teid=agw_teid,
                              enb_teid=None, enb_node=None,
                              meter_id=meter_id, rate_mbps=rate,
                              egress_port=egress)
         # Table 0: uplink - GTP-U traffic from the RAN for this bearer.
-        self.switch.apply(FlowMod(
+        self._apply(FlowMod(
             command=FlowMod.ADD, table_id=TABLE_CLASSIFY, priority=10,
             match=FlowMatch(in_port=self.ran_port, tun_id=agw_teid),
             actions=[act.PopGtpu(), act.SetRegister("direction", "uplink"),
                      act.SetRegister("imsi", imsi), act.GotoTable(TABLE_POLICY)],
             cookie=imsi))
         # Table 0: downlink - traffic addressed to the UE from its egress.
-        self.switch.apply(FlowMod(
+        self._apply(FlowMod(
             command=FlowMod.ADD, table_id=TABLE_CLASSIFY, priority=10,
             match=FlowMatch(in_port=egress, ip_dst=ue_ip),
             actions=[act.SetRegister("direction", "downlink"),
@@ -127,12 +166,12 @@ class Pipelined:
         if dscp:
             policy_actions.append(act.SetDscp(dscp))
         policy_actions.append(act.GotoTable(TABLE_EGRESS))
-        self.switch.apply(FlowMod(
+        self._apply(FlowMod(
             command=FlowMod.ADD, table_id=TABLE_POLICY, priority=10,
             match=FlowMatch(registers={"imsi": imsi}),
             actions=policy_actions, cookie=imsi))
         # Table 2: uplink out the session's egress (SGi or GTP-A).
-        self.switch.apply(FlowMod(
+        self._apply(FlowMod(
             command=FlowMod.ADD, table_id=TABLE_EGRESS, priority=10,
             match=FlowMatch(registers={"imsi": imsi, "direction": "uplink"}),
             actions=[act.Output(egress)], cookie=imsi))
@@ -144,17 +183,21 @@ class Pipelined:
     def set_enb_tunnel(self, imsi: str, enb_teid: int, enb_node: str) -> None:
         """Set (or re-point, after a handover) the downlink tunnel."""
         flows = self._require(imsi)
+        had_tunnel = flows.enb_teid is not None
         flows.enb_teid = enb_teid
         flows.enb_node = enb_node
-        # Drop any previous downlink egress rule (intra-AGW handover).
-        egress_table = self.switch.tables[TABLE_EGRESS]
-        for rule in egress_table.find_by_cookie(imsi):
-            registers = rule.match.registers or {}
-            if registers.get("direction") == "downlink":
-                egress_table.remove_rule(rule.rule_id)
-        self.switch.apply(FlowMod(
+        downlink = FlowMatch(registers={"imsi": imsi,
+                                        "direction": "downlink"})
+        if had_tunnel:
+            # Drop the previous downlink egress rule (intra-AGW handover).
+            # Fresh installs skip this: no rule exists, and the O(table)
+            # delete scan per session would make bulk restore quadratic.
+            self._apply(FlowMod(command=FlowMod.DELETE,
+                                table_id=TABLE_EGRESS, priority=10,
+                                match=downlink))
+        self._apply(FlowMod(
             command=FlowMod.ADD, table_id=TABLE_EGRESS, priority=10,
-            match=FlowMatch(registers={"imsi": imsi, "direction": "downlink"}),
+            match=downlink,
             actions=[act.PushGtpu(teid=enb_teid, tunnel_src=self.context.node,
                                   tunnel_dst=enb_node),
                      act.Output(self.ran_port)],
@@ -165,10 +208,10 @@ class Pipelined:
         if flows is None:
             return False
         for table_id in (TABLE_CLASSIFY, TABLE_POLICY, TABLE_EGRESS):
-            self.switch.apply(FlowMod(command=FlowMod.DELETE_BY_COOKIE,
-                                      table_id=table_id, cookie=imsi))
-        self.switch.apply(MeterMod(command=MeterMod.DELETE,
-                                   meter_id=flows.meter_id))
+            self._apply(FlowMod(command=FlowMod.DELETE_BY_COOKIE,
+                                table_id=table_id, cookie=imsi))
+        self._apply(MeterMod(command=MeterMod.DELETE,
+                             meter_id=flows.meter_id))
         self.stats["sessions_removed"] += 1
         return True
 
@@ -176,9 +219,9 @@ class Pipelined:
         """Reprogram the session's meter (throttling / un-throttling)."""
         flows = self._require(imsi)
         flows.rate_mbps = rate_mbps
-        self.switch.apply(MeterMod(command=MeterMod.MODIFY,
-                                   meter_id=flows.meter_id,
-                                   rate_mbps=max(rate_mbps, 1e-6)))
+        self._apply(MeterMod(command=MeterMod.MODIFY,
+                             meter_id=flows.meter_id,
+                             rate_mbps=max(rate_mbps, 1e-6)))
         self.stats["rate_changes"] += 1
 
     def has_session(self, imsi: str) -> bool:

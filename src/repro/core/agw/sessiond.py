@@ -12,7 +12,6 @@ Sessions are checkpointed by ``magmad`` and restorable after a crash
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -135,7 +134,7 @@ class Sessiond:
         # Explicit None check: an empty AccountingLog is falsy (len == 0).
         self.accounting = AccountingLog() if accounting is None else accounting
         self._teids = TeidAllocator(start=0x1000)
-        self._session_ids = itertools.count(1)
+        self._next_session_num = 1
         self._sessions: Dict[str, SessionRecord] = {}
         # Inter-AGW hand-off: contexts staged by the S10 endpoint, consumed
         # by the next create_session for that IMSI.
@@ -169,7 +168,7 @@ class Sessiond:
             enforcement.interval_bytes = staged.interval_bytes
             enforcement.interval_start = staged.interval_start
         record = SessionRecord(
-            session_id=f"{self.context.node}-s{next(self._session_ids)}",
+            session_id=self._new_session_id(),
             imsi=imsi, ue_ip=ue_ip, policy_id=policy.policy_id,
             agw_teid=agw_teid, start_time=sim.now, enforcement=enforcement)
         if policy.charging == ChargingMode.ONLINE:
@@ -229,6 +228,28 @@ class Sessiond:
     def _release(self, record: SessionRecord) -> None:
         self.mobilityd.release(record.imsi)
         self._teids.release(record.agw_teid)
+
+    def _new_session_id(self) -> str:
+        session_id = f"{self.context.node}-s{self._next_session_num}"
+        self._next_session_num += 1
+        return session_id
+
+    def _seed_session_id(self, session_id: str) -> None:
+        """Advance the id counter past a restored session's number.
+
+        Restored ids minted by *this* node name must never be minted again;
+        ids from another gateway (failover promotion) use a different
+        prefix and cannot collide, so they do not advance the counter.
+        """
+        prefix = f"{self.context.node}-s"
+        if not session_id.startswith(prefix):
+            return
+        try:
+            number = int(session_id[len(prefix):])
+        except ValueError:
+            return
+        if number >= self._next_session_num:
+            self._next_session_num = number + 1
 
     # -- usage & policy reaction ---------------------------------------------------------
 
@@ -376,6 +397,7 @@ class Sessiond:
                 "bytes_ul": record.bytes_ul,
                 "installed_rate_mbps": record.installed_rate_mbps,
                 "home_routed": record.home_routed,
+                "connected": record.connected,
                 "total_bytes": enforcement.total_bytes,
                 "interval_bytes": enforcement.interval_bytes,
                 "interval_start": enforcement.interval_start,
@@ -386,39 +408,52 @@ class Sessiond:
         return snapshot
 
     def restore(self, snapshot: List[Dict[str, Any]]) -> int:
-        """Rebuild sessions (and data-plane state) from a checkpoint."""
+        """Rebuild sessions (and data-plane state) from a checkpoint.
+
+        Correctness: restored TEIDs and session ids re-seed their
+        allocators, so the first post-restore ``create_session`` cannot
+        collide with a restored session; the ECM ``connected`` flag rides
+        through, so idle UEs stay idle.  Throughput: the whole data plane
+        is programmed as one atomic :meth:`Pipelined.batch` bundle and
+        mobilityd is rebuilt with a single bulk call after the loop.
+        """
         restored = 0
-        for entry in snapshot:
-            imsi = entry["imsi"]
-            policy = self.policydb.get(entry["policy_id"])
-            enforcement = EnforcementState(policy,
-                                           session_start=entry["interval_start"])
-            enforcement.total_bytes = entry["total_bytes"]
-            enforcement.interval_bytes = entry["interval_bytes"]
-            enforcement.quota_remaining = entry["quota_remaining"]
-            enforcement.quota_grant_id = entry["quota_grant_id"]
-            enforcement._last_grant_size = entry["last_grant_size"]
-            record = SessionRecord(
-                session_id=entry["session_id"], imsi=imsi,
-                ue_ip=entry["ue_ip"], policy_id=entry["policy_id"],
-                agw_teid=entry["agw_teid"], enb_teid=entry["enb_teid"],
-                enb_node=entry["enb_node"], state=entry["state"],
-                start_time=entry["start_time"], bytes_dl=entry["bytes_dl"],
-                bytes_ul=entry["bytes_ul"],
-                installed_rate_mbps=entry["installed_rate_mbps"],
-                home_routed=entry.get("home_routed", False),
-                enforcement=enforcement)
-            self._sessions[imsi] = record
-            self.mobilityd.restore({r.imsi: r.ue_ip
-                                    for r in self._sessions.values()})
-            egress_port = (self.context.config.gtpa_port if record.home_routed
-                           else self.context.config.sgi_port)
-            self.pipelined.install_session(imsi, record.ue_ip,
-                                           record.agw_teid,
-                                           record.installed_rate_mbps,
-                                           egress_port=egress_port)
-            if record.enb_teid is not None and record.enb_node is not None:
-                self.pipelined.set_enb_tunnel(imsi, record.enb_teid,
-                                              record.enb_node)
-            restored += 1
+        with self.pipelined.batch():
+            for entry in snapshot:
+                imsi = entry["imsi"]
+                policy = self.policydb.get(entry["policy_id"])
+                enforcement = EnforcementState(
+                    policy, session_start=entry["interval_start"])
+                enforcement.total_bytes = entry["total_bytes"]
+                enforcement.interval_bytes = entry["interval_bytes"]
+                enforcement.quota_remaining = entry["quota_remaining"]
+                enforcement.quota_grant_id = entry["quota_grant_id"]
+                enforcement._last_grant_size = entry["last_grant_size"]
+                record = SessionRecord(
+                    session_id=entry["session_id"], imsi=imsi,
+                    ue_ip=entry["ue_ip"], policy_id=entry["policy_id"],
+                    agw_teid=entry["agw_teid"], enb_teid=entry["enb_teid"],
+                    enb_node=entry["enb_node"], state=entry["state"],
+                    start_time=entry["start_time"], bytes_dl=entry["bytes_dl"],
+                    bytes_ul=entry["bytes_ul"],
+                    installed_rate_mbps=entry["installed_rate_mbps"],
+                    home_routed=entry.get("home_routed", False),
+                    connected=entry.get("connected", True),
+                    enforcement=enforcement)
+                self._sessions[imsi] = record
+                self._teids.reserve(record.agw_teid)
+                self._seed_session_id(record.session_id)
+                egress_port = (self.context.config.gtpa_port
+                               if record.home_routed
+                               else self.context.config.sgi_port)
+                self.pipelined.install_session(imsi, record.ue_ip,
+                                               record.agw_teid,
+                                               record.installed_rate_mbps,
+                                               egress_port=egress_port)
+                if record.enb_teid is not None and record.enb_node is not None:
+                    self.pipelined.set_enb_tunnel(imsi, record.enb_teid,
+                                                  record.enb_node)
+                restored += 1
+        self.mobilityd.restore({r.imsi: r.ue_ip
+                                for r in self._sessions.values()})
         return restored

@@ -29,17 +29,28 @@ class ConfigStore:
         self._wal: List[WalEntry] = []
         self._data: Dict[Tuple[str, str], Any] = {}
         self._version = 0
+        self._ns_versions: Dict[str, int] = {}
 
     @property
     def version(self) -> int:
         """Global monotonic version; bumps on every mutation."""
         return self._version
 
+    def namespace_version(self, namespace: str) -> int:
+        """Global version of the last mutation touching ``namespace``.
+
+        Lets consumers (statesync's bundle cache) tell whether a version
+        bump actually changed the state they serve, instead of rebuilding
+        on every write anywhere in the store.
+        """
+        return self._ns_versions.get(namespace, 0)
+
     def put(self, namespace: str, key: str, value: Any) -> int:
         self._version += 1
         entry = WalEntry(self._version, "put", (namespace, key), value)
         self._wal.append(entry)       # WAL first, then apply
         self._data[(namespace, key)] = value
+        self._ns_versions[namespace] = self._version
         return self._version
 
     def delete(self, namespace: str, key: str) -> int:
@@ -49,6 +60,7 @@ class ConfigStore:
         entry = WalEntry(self._version, "delete", (namespace, key))
         self._wal.append(entry)
         del self._data[(namespace, key)]
+        self._ns_versions[namespace] = self._version
         return self._version
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
@@ -77,5 +89,6 @@ class ConfigStore:
             elif entry.op == "delete":
                 fresh._data.pop(entry.key, None)
             fresh._version = entry.version
+            fresh._ns_versions[entry.key[0]] = entry.version
             fresh._wal.append(entry)
         return fresh

@@ -53,8 +53,13 @@ class StateSync:
         self.store = store
         self.metricsd = metricsd
         self._gateways: Dict[str, GatewayState] = {}
-        self._bundle_cache: Dict[str, tuple] = {}  # network -> (ver, bundle)
-        self.stats = {"checkins": 0, "config_pushes": 0}
+        # network -> (per-namespace versions, bundle): the bundle is reused
+        # until one of the *network's own* namespaces changes, so a
+        # thousand-gateway check-in storm (or churn in another tenant's
+        # namespaces) never rebuilds an identical bundle.
+        self._bundle_cache: Dict[str, tuple] = {}
+        self.stats = {"checkins": 0, "config_pushes": 0,
+                      "bundle_rebuilds": 0, "bundle_cache_hits": 0}
 
     # -- the checkin handler (registered as statesync/checkin) ---------------------
 
@@ -77,7 +82,11 @@ class StateSync:
             self.metricsd.ingest_bundle(metrics, now,
                                         labels={"gateway": gateway_id})
         response: Dict[str, Any] = {"config_version": self.store.version}
-        if state.config_version < self.store.version:
+        # Push only when *this gateway's network* changed since the version
+        # it applied - version bumps from other tenants' namespaces leave
+        # its desired state identical, so no bundle (full-state semantics
+        # per push are preserved; only no-op pushes are elided).
+        if state.config_version < self.network_config_version(state.network_id):
             response["config"] = self.config_bundle(state.network_id)
             self.stats["config_pushes"] += 1
         else:
@@ -86,21 +95,54 @@ class StateSync:
 
     # -- bundle construction ----------------------------------------------------------
 
+    def _network_ns_versions(self, network_id: str) -> tuple:
+        """Store versions of the namespaces this network's bundle reads."""
+        return tuple(self.store.namespace_version(scoped(ns, network_id))
+                     for ns in (NS_SUBSCRIBERS, NS_POLICIES, NS_RAN))
+
+    def network_config_version(self, network_id: str = DEFAULT_NETWORK) -> int:
+        """Latest store version that changed this network's desired state."""
+        return max(self._network_ns_versions(network_id))
+
     def config_bundle(self, network_id: str = DEFAULT_NETWORK
                       ) -> Dict[str, Any]:
-        """The network's full desired state (cached per store version)."""
+        """The network's full desired state (versioned delta cache).
+
+        Cached against the network's per-namespace versions rather than the
+        global store version: writes to other networks (or namespaces this
+        bundle does not serve) bump the global version but hit the cache.
+        """
+        versions = self._network_ns_versions(network_id)
         cached = self._bundle_cache.get(network_id)
-        if cached is None or cached[0] != self.store.version:
-            bundle = {
-                "subscribers": self.store.namespace(
-                    scoped(NS_SUBSCRIBERS, network_id)),
-                "policies": self.store.namespace(
-                    scoped(NS_POLICIES, network_id)),
-                "ran": self.store.namespace(scoped(NS_RAN, network_id)),
-            }
-            self._bundle_cache[network_id] = (self.store.version, bundle)
-            return bundle
-        return cached[1]
+        if cached is not None and cached[0] == versions:
+            self.stats["bundle_cache_hits"] += 1
+            return cached[1]
+        bundle = {
+            "subscribers": self.store.namespace(
+                scoped(NS_SUBSCRIBERS, network_id)),
+            "policies": self.store.namespace(
+                scoped(NS_POLICIES, network_id)),
+            "ran": self.store.namespace(scoped(NS_RAN, network_id)),
+        }
+        self._bundle_cache[network_id] = (versions, bundle)
+        self.stats["bundle_rebuilds"] += 1
+        return bundle
+
+    def config_delta(self, network_id: str = DEFAULT_NETWORK,
+                     since_version: int = 0) -> Dict[str, Any]:
+        """Only the namespaces that changed after ``since_version``.
+
+        Namespace-granular deltas for callers that track their applied
+        version; an up-to-date caller gets ``{}``.  Convergence still
+        rides on full bundles (the paper's desired-state push) - this is
+        the cheap path for callers that poll more often than they change.
+        """
+        bundle = self.config_bundle(network_id)
+        names = (("subscribers", NS_SUBSCRIBERS), ("policies", NS_POLICIES),
+                 ("ran", NS_RAN))
+        return {key: bundle[key] for key, ns in names
+                if self.store.namespace_version(
+                    scoped(ns, network_id)) > since_version}
 
     # -- gateway registry ----------------------------------------------------------------
 

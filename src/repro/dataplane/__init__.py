@@ -12,6 +12,8 @@ from .matcher import FlowMatch, MATCH_ALL
 from .meter import TokenBucketMeter
 from .openflow import (
     BarrierRequest,
+    BundleReply,
+    FlowBundle,
     FlowMod,
     FlowStatsEntry,
     MeterMod,
@@ -37,6 +39,8 @@ from .switch import PipelineError, SoftwareSwitch
 
 __all__ = [
     "BarrierRequest",
+    "BundleReply",
+    "FlowBundle",
     "FlowMatch",
     "FlowMod",
     "FlowRule",

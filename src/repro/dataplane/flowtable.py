@@ -4,13 +4,19 @@ Mirrors the OVS/OpenFlow table model that Magma's ``pipelined`` programs:
 each table holds rules at integer priorities; the highest-priority matching
 rule wins; every hit updates the rule's packet/byte counters (the paper's
 data-plane responsibility (ii): "collecting statistics for those flows").
+
+Scaling notes (the session hot path): single inserts use a binary search
+on the descending-priority order instead of a linear scan, bulk inserts
+(:meth:`FlowTable.add_batch`) amortize to one stable sort, and a cookie
+index makes per-session lookups (stats collection, tunnel re-pointing,
+fluid accounting) O(rules-per-session) rather than O(table).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .actions import Action
 from .matcher import FlowMatch
@@ -53,6 +59,7 @@ class FlowTable:
         self.table_id = table_id
         self.name = name or f"table-{table_id}"
         self._rules: List[FlowRule] = []
+        self._by_cookie: Dict[Any, List[FlowRule]] = {}
         self.lookups = 0
         self.matches = 0
 
@@ -62,29 +69,61 @@ class FlowTable:
     def rules(self) -> List[FlowRule]:
         return list(self._rules)
 
+    def _index_for(self, priority: int) -> int:
+        """Insertion point: after every rule with priority >= ``priority``."""
+        rules = self._rules
+        lo, hi = 0, len(rules)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rules[mid].priority >= priority:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def add(self, rule: FlowRule) -> FlowRule:
         """Insert keeping rules sorted by descending priority (stable)."""
-        index = len(self._rules)
-        for i, existing in enumerate(self._rules):
-            if existing.priority < rule.priority:
-                index = i
-                break
-        self._rules.insert(index, rule)
+        self._rules.insert(self._index_for(rule.priority), rule)
+        self._index_add(rule)
         return rule
+
+    def add_batch(self, rules: Iterable[FlowRule]) -> int:
+        """Insert many rules with one stable sort (bundle fast path).
+
+        Equivalent to calling :meth:`add` per rule - the sort is stable, so
+        existing rules keep their order and new equal-priority rules land
+        after them in insertion order - but costs O((n+k) log (n+k)) total
+        instead of one ordered insertion per rule.
+        """
+        added = 0
+        for rule in rules:
+            self._rules.append(rule)
+            self._index_add(rule)
+            added += 1
+        if added:
+            self._rules.sort(key=lambda r: -r.priority)
+        return added
 
     def remove_by_cookie(self, cookie: Any) -> int:
         """Delete all rules with this cookie; returns how many."""
-        before = len(self._rules)
-        self._rules = [r for r in self._rules if r.cookie != cookie]
-        return before - len(self._rules)
+        doomed = self._by_cookie.pop(cookie, None)
+        if not doomed:
+            return 0
+        doomed_ids = {r.rule_id for r in doomed}
+        self._rules = [r for r in self._rules if r.rule_id not in doomed_ids]
+        return len(doomed_ids)
 
     def remove_rule(self, rule_id: int) -> bool:
         before = len(self._rules)
+        removed = [r for r in self._rules if r.rule_id == rule_id]
         self._rules = [r for r in self._rules if r.rule_id != rule_id]
+        for rule in removed:
+            self._index_discard(rule)
         return len(self._rules) < before
 
     def clear(self) -> None:
         self._rules.clear()
+        self._by_cookie.clear()
 
     def lookup(self, pkt: Packet, in_port: Optional[str] = None) -> Optional[FlowRule]:
         """Highest-priority matching rule, or None on table miss."""
@@ -96,4 +135,17 @@ class FlowTable:
         return None
 
     def find_by_cookie(self, cookie: Any) -> List[FlowRule]:
-        return [r for r in self._rules if r.cookie == cookie]
+        return list(self._by_cookie.get(cookie, ()))
+
+    # -- cookie index maintenance -------------------------------------------------
+
+    def _index_add(self, rule: FlowRule) -> None:
+        self._by_cookie.setdefault(rule.cookie, []).append(rule)
+
+    def _index_discard(self, rule: FlowRule) -> None:
+        bucket = self._by_cookie.get(rule.cookie)
+        if bucket is None:
+            return
+        bucket[:] = [r for r in bucket if r.rule_id != rule.rule_id]
+        if not bucket:
+            del self._by_cookie[rule.cookie]

@@ -72,6 +72,28 @@ class FlowStatsEntry:
 
 
 @dataclass(frozen=True)
+class FlowBundle:
+    """A group of FlowMod/MeterMod messages applied atomically, in order.
+
+    Mirrors the OpenFlow 1.4 bundle mechanism ``pipelined`` uses to commit
+    a session's rules as one transaction: the switch validates every mod
+    first and applies either all of them or none.  Consecutive rule ADDs
+    are batched per table, so installing thousands of sessions costs one
+    sort instead of one ordered insertion per rule.
+    """
+
+    mods: Sequence[Any] = ()
+
+
+@dataclass(frozen=True)
+class BundleReply:
+    """Result of an applied bundle."""
+
+    mods_applied: int
+    rules_added: int
+
+
+@dataclass(frozen=True)
 class BarrierRequest:
     """Complete all preceding mods before replying (ordering fence)."""
 

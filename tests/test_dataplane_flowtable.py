@@ -82,3 +82,34 @@ def test_stats_start_zeroed():
     assert r.stats.packets == 0
     assert r.stats.bytes == 0
     assert r.stats.fluid_byte_seconds == 0.0
+
+
+def test_add_batch_equivalent_to_sequential_adds():
+    specs = [(10, "a"), (5, "b"), (10, "c"), (20, "d"), (5, "e")]
+    batched = FlowTable(0)
+    batched.add(rule(10, cookie="pre"))  # pre-existing rule keeps its place
+    sequential = FlowTable(1)
+    sequential.add(rule(10, cookie="pre"))
+    for priority, cookie in specs:
+        sequential.add(rule(priority, cookie=cookie))
+    added = batched.add_batch(rule(p, cookie=c) for p, c in specs)
+    assert added == len(specs)
+    assert ([r.cookie for r in batched.rules()]
+            == [r.cookie for r in sequential.rules()])
+
+
+def test_add_batch_updates_cookie_index():
+    table = FlowTable(0)
+    table.add_batch([rule(1, cookie="x"), rule(2, cookie="x"),
+                     rule(3, cookie="y")])
+    assert len(table.find_by_cookie("x")) == 2
+    assert table.remove_by_cookie("x") == 2
+    assert [r.cookie for r in table.rules()] == ["y"]
+
+
+def test_remove_rule_purges_cookie_index():
+    table = FlowTable(0)
+    kept = table.add(rule(1, cookie="x"))
+    gone = table.add(rule(2, cookie="x"))
+    table.remove_rule(gone.rule_id)
+    assert table.find_by_cookie("x") == [kept]

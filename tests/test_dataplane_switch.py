@@ -251,3 +251,82 @@ def test_output_to_removed_port_drops():
     sw.remove_port("internet")
     sw.inject(ip_packet("a", "b"), "ran")
     assert sw.stats["dropped"] == 1
+
+
+# -- bundles (atomic batched programming) -----------------------------------------
+
+
+def test_bundle_applies_all_mods_and_counts_one_control_msg():
+    from repro.dataplane import BundleReply, FlowBundle
+    sw, delivered = build_switch()
+    before = sw.stats["control_msgs"]
+    reply = sw.apply(FlowBundle(mods=(
+        MeterMod(command=MeterMod.ADD, meter_id=1, rate_mbps=10.0),
+        FlowMod(command=FlowMod.ADD, table_id=0, priority=10,
+                match=FlowMatch(), actions=[act.Output("internet")],
+                cookie="ue-1"),
+        FlowMod(command=FlowMod.ADD, table_id=1, priority=10,
+                match=FlowMatch(), actions=[act.Drop()], cookie="ue-1"),
+    )))
+    assert isinstance(reply, BundleReply)
+    assert reply.mods_applied == 3
+    assert reply.rules_added == 2
+    assert sw.stats["control_msgs"] == before + 1
+    assert sw.stats["bundles"] == 1
+    assert 1 in sw.meters
+    assert len(sw.tables[0]) == 1 and len(sw.tables[1]) == 1
+
+
+def test_bundle_is_atomic_on_validation_failure():
+    from repro.dataplane import FlowBundle
+    sw, delivered = build_switch()
+    with pytest.raises(PipelineError):
+        sw.apply(FlowBundle(mods=(
+            FlowMod(command=FlowMod.ADD, table_id=0, priority=10,
+                    match=FlowMatch(), actions=[act.Drop()], cookie="x"),
+            MeterMod(command=MeterMod.MODIFY, meter_id=99, rate_mbps=1.0),
+        )))
+    # The valid leading FlowMod must NOT have been applied.
+    assert len(sw.tables[0]) == 0
+    assert sw.stats["bundles"] == 0
+
+
+def test_bundle_validates_meter_ids_against_earlier_mods():
+    from repro.dataplane import FlowBundle
+    sw, delivered = build_switch()
+    # ADD then MODIFY of the same meter inside one bundle is legal.
+    sw.apply(FlowBundle(mods=(
+        MeterMod(command=MeterMod.ADD, meter_id=5, rate_mbps=1.0),
+        MeterMod(command=MeterMod.MODIFY, meter_id=5, rate_mbps=2.0),
+    )))
+    assert sw.meters[5].rate_mbps == 2.0
+    # A duplicate ADD (even of a meter added earlier in the bundle) is not.
+    with pytest.raises(PipelineError):
+        sw.apply(FlowBundle(mods=(
+            MeterMod(command=MeterMod.ADD, meter_id=6, rate_mbps=1.0),
+            MeterMod(command=MeterMod.ADD, meter_id=6, rate_mbps=2.0),
+        )))
+    assert 6 not in sw.meters
+
+
+def test_bundle_preserves_add_delete_ordering():
+    from repro.dataplane import FlowBundle
+    sw, delivered = build_switch()
+    match = FlowMatch(registers={"imsi": "ue-1", "direction": "downlink"})
+    # ADD, DELETE (matching it), then a fresh ADD: only the last survives.
+    sw.apply(FlowBundle(mods=(
+        FlowMod(command=FlowMod.ADD, table_id=0, priority=10, match=match,
+                actions=[act.Drop()], cookie="old"),
+        FlowMod(command=FlowMod.DELETE, table_id=0, priority=10, match=match),
+        FlowMod(command=FlowMod.ADD, table_id=0, priority=10, match=match,
+                actions=[act.Output("internet")], cookie="new"),
+    )))
+    rules = sw.tables[0].rules()
+    assert [r.cookie for r in rules] == ["new"]
+
+
+def test_bundle_rejects_foreign_messages():
+    from repro.dataplane import FlowBundle
+    sw, delivered = build_switch()
+    with pytest.raises(PipelineError):
+        sw.apply(FlowBundle(mods=(StatsRequest(),)))

@@ -122,3 +122,38 @@ def test_fail_back_requires_recovered_primary():
     promote_backup(backup, "agw-1")
     with pytest.raises(FailoverError, match="not recovered"):
         fail_back(site.agw, backup)
+
+
+def test_idle_ecm_state_round_trips_through_checkpoint_restore():
+    """Idle UEs must resurrect idle: a restored-as-connected UE would break
+    paging after failover (the checkpoint used to drop the flag)."""
+    site, backup = site_with_backup()
+    attach_all(site)
+    idle_imsi, connected_imsi = site.imsis[0], site.imsis[1]
+    site.agw.sessiond.set_connected(idle_imsi, False)
+    site.agw.magmad.checkpoint_now()
+    site.agw.crash()
+    promote_backup(backup, "agw-1")
+    assert backup.sessiond.session(idle_imsi).connected is False
+    assert backup.sessiond.session(connected_imsi).connected is True
+
+
+def test_attach_after_promotion_avoids_restored_identifiers():
+    """The promoted backup's fresh allocators must skip everything the
+    restored sessions hold (TEIDs, IPs) - the seed behaviour collided."""
+    site, backup = site_with_backup(num_ues=2)
+    first, second = site.ues[0], site.ues[1]
+    assert site.run_attach(first).success
+    site.sim.run(until=site.sim.now + 2.0)
+    site.agw.magmad.checkpoint_now()
+    site.agw.crash()
+    promote_backup(backup, "agw-1")
+    done = site.enbs[0].retarget_core("agw-backup")
+    response = site.sim.run_until_triggered(done, limit=site.sim.now + 30.0)
+    assert response.accepted
+    assert site.run_attach(second).success
+    restored = backup.sessiond.session(first.imsi)
+    fresh = backup.sessiond.session(second.imsi)
+    assert fresh.agw_teid != restored.agw_teid
+    assert fresh.ue_ip != restored.ue_ip
+    assert fresh.session_id != restored.session_id

@@ -169,3 +169,37 @@ def test_unknown_request_type_ignored():
     sim.spawn(proc(sim))
     sim.run()
     assert len(errors) == 1  # no handler registered => silence => timeout
+
+
+def test_teid_reserve_seeds_restore_state():
+    """Restore-time seeding: reserved ids are never minted again."""
+    alloc = TeidAllocator(start=0x1000)
+    alloc.reserve(0x1000)          # a restored session holds the first id
+    alloc.reserve(0x1002)
+    assert alloc.allocate() == 0x1001
+    assert alloc.allocate() == 0x1003
+    assert alloc.is_in_use(0x1000)
+    assert alloc.in_use_count() == 4
+
+
+def test_teid_reserve_purges_free_list_lazily():
+    alloc = TeidAllocator(start=1)
+    a = alloc.allocate()
+    alloc.release(a)
+    alloc.reserve(a)               # a comes back via a checkpoint restore
+    assert alloc.allocate() != a   # the stale free-list entry is skipped
+
+
+def test_teid_reserve_all_bulk():
+    alloc = TeidAllocator(start=1)
+    alloc.reserve_all([1, 2, 3])
+    assert alloc.allocate() == 4
+
+
+def test_teid_double_release_never_mints_duplicates():
+    alloc = TeidAllocator(start=1)
+    a = alloc.allocate()
+    alloc.release(a)
+    alloc.release(a)
+    assert alloc.allocate() == a
+    assert alloc.allocate() != a

@@ -111,3 +111,83 @@ def test_reattach_while_active_replaces_session_once():
     assert site.agw.sessiond.session_count() == 1
     # The replaced session produced a CDR with reason tracking.
     assert len(site.agw.accounting) == 1
+
+
+# -- crash-recovery restore seeding (regression: seed code collided) -------------
+
+
+def test_restore_into_fresh_gateway_seeds_teid_and_session_ids():
+    """A replacement AGW restoring a checkpoint must not re-mint the TEIDs,
+    session ids, or UE IPs its restored sessions still hold.  (The seed
+    behaviour allocated TEID 0x1000 / session id ``agw-1-s1`` / IP
+    ``10.128.0.1`` again on the first post-restore attach.)"""
+    site = build_site(num_ues=1)
+    assert site.run_attach(site.ue(0)).success
+    site.sim.run(until=site.sim.now + 2.0)
+    snapshot = site.agw.sessiond.checkpoint()
+
+    # A brand-new gateway process under the same node name: every
+    # allocator starts from scratch, exactly like a post-crash replacement.
+    fresh = build_site(num_ues=2, seed=7)
+    assert fresh.agw.sessiond.restore(snapshot) == 1
+    restored = fresh.agw.sessiond.session(site.ue(0).imsi)
+    assert restored is not None
+
+    new_ue = fresh.ue(1)  # a different subscriber than the restored one
+    assert fresh.run_attach(new_ue).success
+    fresh.sim.run(until=fresh.sim.now + 2.0)
+    created = fresh.agw.sessiond.session(new_ue.imsi)
+    assert created.agw_teid != restored.agw_teid
+    assert created.session_id != restored.session_id
+    assert created.ue_ip != restored.ue_ip
+
+
+def test_restore_seeds_only_own_node_session_ids():
+    """Ids minted by another gateway (failover promotion) use a different
+    prefix and must not advance this node's counter."""
+    site = build_site(num_ues=1)
+    assert site.run_attach(site.ue(0)).success
+    site.sim.run(until=site.sim.now + 2.0)
+    snapshot = site.agw.sessiond.checkpoint()
+    for entry in snapshot:
+        entry["session_id"] = "agw-other-s999"
+    fresh = build_site(num_ues=2, seed=8)
+    fresh.agw.sessiond.restore(snapshot)
+    assert fresh.run_attach(fresh.ue(1)).success
+    fresh.sim.run(until=fresh.sim.now + 2.0)
+    created = fresh.agw.sessiond.session(fresh.ue(1).imsi)
+    assert created.session_id == "agw-1-s1"   # counter untouched
+
+
+def test_restore_programs_dataplane_in_one_bundle():
+    site = build_site(num_ues=3)
+    for ue in site.ues:
+        assert site.run_attach(ue).success
+    site.sim.run(until=site.sim.now + 2.0)
+    snapshot = site.agw.sessiond.checkpoint()
+    fresh = build_site(num_ues=1, seed=9)
+    before = fresh.agw.pipelined.switch.stats["control_msgs"]
+    assert fresh.agw.sessiond.restore(snapshot) == 3
+    switch_stats = fresh.agw.pipelined.switch.stats
+    assert switch_stats["bundles"] == 1
+    assert switch_stats["control_msgs"] == before + 1
+    # The data plane is fully functional after the bundle commit.
+    for imsi in site.imsis:
+        assert fresh.agw.pipelined.has_session(imsi)
+        assert fresh.agw.pipelined.session(imsi).enb_teid is not None
+
+
+def test_restore_rebuilds_mobilityd_with_single_bulk_call():
+    site = build_site(num_ues=3)
+    for ue in site.ues:
+        assert site.run_attach(ue).success
+    site.sim.run(until=site.sim.now + 2.0)
+    snapshot = site.agw.sessiond.checkpoint()
+    fresh = build_site(num_ues=1, seed=10)
+    calls = []
+    original = fresh.agw.mobilityd.restore
+    fresh.agw.mobilityd.restore = lambda assignments: (
+        calls.append(len(assignments)), original(assignments))
+    fresh.agw.sessiond.restore(snapshot)
+    assert calls == [3]   # one bulk call, not one per entry
+    assert fresh.agw.mobilityd.assigned_count == 3

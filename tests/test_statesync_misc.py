@@ -106,3 +106,74 @@ def test_format_table_alignment_and_floats():
 def test_format_table_empty_rows():
     text = format_table(["a", "b"], [])
     assert "a" in text and "b" in text
+
+
+# -- versioned delta cache (check-in storm hot path) ------------------------------
+
+
+def test_bundle_cache_survives_other_networks_version_bumps():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "a", 1)
+    bundle1 = sync.config_bundle()
+    # A different tenant's churn bumps the global version only.
+    store.put("subscribers@tenant", "b", 2)
+    store.put("policies@tenant", "p", 3)
+    assert sync.config_bundle() is bundle1
+    assert sync.stats["bundle_cache_hits"] >= 1
+    # A write to one of *this* network's namespaces does invalidate.
+    store.put("policies", "p", 4)
+    assert sync.config_bundle() is not bundle1
+
+
+def test_checkin_storm_rebuilds_bundle_once():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "x", 1)
+    for i in range(200):
+        response = checkin(sync, f"agw-{i}", version=0)
+        assert response["config"] is not None
+    assert sync.stats["config_pushes"] == 200
+    assert sync.stats["bundle_rebuilds"] == 1
+    assert sync.stats["bundle_cache_hits"] == 199
+
+
+def test_checkin_elides_push_when_own_network_unchanged():
+    sim, store, sync = make_statesync()
+    store.put("subscribers@tenant", "b", 2)   # only the tenant changed
+    response = checkin(sync, "agw-1", version=0)  # default-network gateway
+    assert response["config"] is None             # no wasted full-state push
+    assert response["config_version"] == store.version
+    tenant = checkin(sync, "agw-t", version=0, network_id="tenant")
+    assert tenant["config"] is not None
+
+
+def test_config_delta_is_namespace_granular():
+    sim, store, sync = make_statesync()
+    store.put("subscribers", "a", 1)      # version 1
+    store.put("policies", "p", 2)         # version 2
+    delta = sync.config_delta("default", since_version=1)
+    assert "policies" in delta
+    assert "subscribers" not in delta
+    assert sync.config_delta("default", since_version=store.version) == {}
+    full = sync.config_delta("default", since_version=0)
+    assert set(full) == {"subscribers", "policies"}
+
+
+def test_network_config_version_tracks_own_namespaces():
+    sim, store, sync = make_statesync()
+    assert sync.network_config_version() == 0
+    store.put("subscribers", "a", 1)
+    v_default = store.version
+    store.put("subscribers@tenant", "b", 2)
+    assert sync.network_config_version("default") == v_default
+    assert sync.network_config_version("tenant") == store.version
+
+
+def test_namespace_versions_survive_store_recovery():
+    store = ConfigStore()
+    store.put("subscribers", "a", 1)
+    store.put("policies", "p", 2)
+    store.delete("subscribers", "a")
+    recovered = store.recover()
+    assert recovered.namespace_version("subscribers") == 3
+    assert recovered.namespace_version("policies") == 2
+    assert recovered.namespace_version("ran") == 0
