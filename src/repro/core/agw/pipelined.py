@@ -255,6 +255,33 @@ class Pipelined:
         reply = self.switch.apply(StatsRequest(cookie=imsi))
         return max((entry.bytes for entry in reply.entries), default=0)
 
+    # -- lookup-stack observability -----------------------------------------------
+
+    def datapath_stats(self) -> Dict[str, Any]:
+        """Classifier decomposition + microflow cache counters (see switch)."""
+        return self.switch.datapath_stats()
+
+    def record_datapath_metrics(self) -> None:
+        """Export lookup-stack gauges into the AGW monitor (metricsd feed).
+
+        Called from health/metrics collection loops; last value wins, so
+        it is safe to call at any cadence.
+        """
+        monitor = self.context.monitor
+        dp = self.switch.datapath_stats()
+        mf = dp["microflow"]
+        monitor.set_gauge("dp_microflow_size", mf["size"])
+        monitor.set_gauge("dp_microflow_hits", mf["hits"])
+        monitor.set_gauge("dp_microflow_misses", mf["misses"])
+        monitor.set_gauge("dp_microflow_evictions", mf["evictions"])
+        monitor.set_gauge("dp_microflow_invalidations", mf["invalidations"])
+        monitor.set_gauge("dp_rules",
+                          sum(t["rules"] for t in dp["tables"]))
+        monitor.set_gauge("dp_subtables",
+                          sum(t["subtables"] for t in dp["tables"]))
+        monitor.set_gauge("dp_residue_rules",
+                          sum(t["residue_rules"] for t in dp["tables"]))
+
     def _require(self, imsi: str) -> SessionFlows:
         flows = self._sessions.get(imsi)
         if flows is None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .packet import GtpuHeader, IPv4Header, Packet, TcpHeader, UdpHeader
 
@@ -84,6 +84,58 @@ class FlowMatch:
         if self.registers:
             count += len(self.registers)
         return count
+
+    def classifier_fields(self) -> Optional[Tuple[Tuple[Any, ...], Tuple[Any, ...]]]:
+        """``(mask, key)`` for tuple-space search, or None for residue rules.
+
+        ``mask`` names the constrained fields (register fields appear as
+        ``("reg", name)``, sorted by name) and ``key`` carries the exact
+        values in the same order, so a packet matches iff its extracted
+        field tuple for ``mask`` equals ``key``.  Rules that cannot be
+        reduced to an exact-match tuple - CIDR prefixes, unhashable
+        register values - return None and stay on the table's linear
+        residue list.
+        """
+        names: List[Any] = []
+        values: List[Any] = []
+        if self.in_port is not None:
+            names.append("in_port")
+            values.append(self.in_port)
+        if self.ip_src is not None:
+            if "/" in self.ip_src:
+                return None
+            names.append("ip_src")
+            values.append(self.ip_src)
+        if self.ip_dst is not None:
+            if "/" in self.ip_dst:
+                return None
+            names.append("ip_dst")
+            values.append(self.ip_dst)
+        if self.ip_proto is not None:
+            names.append("ip_proto")
+            values.append(self.ip_proto)
+        if self.dscp is not None:
+            names.append("dscp")
+            values.append(self.dscp)
+        if self.l4_sport is not None:
+            names.append("l4_sport")
+            values.append(self.l4_sport)
+        if self.l4_dport is not None:
+            names.append("l4_dport")
+            values.append(self.l4_dport)
+        if self.tun_id is not None:
+            names.append("tun_id")
+            values.append(self.tun_id)
+        if self.registers:
+            for reg in sorted(self.registers):
+                names.append(("reg", reg))
+                values.append(self.registers[reg])
+        key = tuple(values)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return tuple(names), key
 
 
 MATCH_ALL = FlowMatch()

@@ -13,6 +13,17 @@ The switch supports two execution modes:
   representative packet once and compute the *admitted rate* for an offered
   rate, applying any meters along the action chain.  Experiments use this to
   model hundreds of Mbps without simulating every packet.
+
+The per-packet path is a two-level OVS-style lookup stack.  Each
+:class:`~repro.dataplane.flowtable.FlowTable` classifies with tuple-space
+search (O(#masks), not O(#rules)); above that, a **microflow cache** keyed
+on :meth:`Packet.flow_key` memoizes the resolved rule chain of the first
+walk, so subsequent packets of the same flow skip classification entirely
+and just re-execute the chain's actions (meters still enforce, per-rule
+stats still count).  The cache is invalidated by a per-switch generation
+counter bumped by every structural change: any FlowMod/MeterMod, bundles,
+``clear()``, ``remove_by_cookie`` - wired through ``FlowTable.on_change``
+so even direct table mutations invalidate.
 """
 
 from __future__ import annotations
@@ -38,6 +49,11 @@ from .packet import Packet, gtpu_decap, gtpu_encap
 
 MAX_PIPELINE_STEPS = 64
 
+# Default bound on memoized microflows (OVS's microflow cache is likewise
+# a small fixed-size exact-match cache; stale/overflow entries just fall
+# back to classification).
+MICROFLOW_CAPACITY = 8192
+
 
 class PipelineError(Exception):
     """Raised on malformed pipelines (loops, unknown tables/meters)."""
@@ -59,9 +75,20 @@ class SoftwareSwitch:
         # control_msgs counts apply() calls (a bundle is ONE message);
         # flow_ops counts individual mods, batched or not.  The hot-path
         # benchmarks compare the two to show bundle coalescing.
+        # mf_* counters cover the microflow cache (hits skip classification).
         self.stats = {"rx": 0, "tx": 0, "dropped": 0, "to_controller": 0,
                       "meter_dropped": 0, "control_msgs": 0, "flow_ops": 0,
-                      "bundles": 0}
+                      "bundles": 0, "mf_hits": 0, "mf_misses": 0,
+                      "mf_evictions": 0, "mf_invalidations": 0,
+                      "mf_uncacheable": 0}
+        # Microflow cache: flow_key -> (rule chain, generation).  Entries
+        # from an older generation are stale and dropped on sight.
+        self.microflow_enabled = True
+        self.microflow_capacity = MICROFLOW_CAPACITY
+        self._mf_cache: Dict[Any, Tuple[Tuple[FlowRule, ...], int]] = {}
+        self._generation = 0
+        for table in self.tables:
+            table.on_change = self._invalidate_microflows
 
     # -- ports & controller ----------------------------------------------------
 
@@ -111,12 +138,7 @@ class SoftwareSwitch:
         if mod.command == FlowMod.DELETE_BY_COOKIE:
             return table.remove_by_cookie(mod.cookie)
         if mod.command == FlowMod.DELETE:
-            removed = 0
-            for rule in table.rules():
-                if rule.match == mod.match and rule.priority == mod.priority:
-                    table.remove_rule(rule.rule_id)
-                    removed += 1
-            return removed
+            return table.remove_matching(mod.match, mod.priority)
         raise PipelineError(f"unknown FlowMod command {mod.command!r}")
 
     def _apply_meter_mod(self, mod: MeterMod) -> Any:
@@ -125,15 +147,20 @@ class SoftwareSwitch:
                 raise PipelineError(f"meter {mod.meter_id} exists")
             self.meters[mod.meter_id] = TokenBucketMeter(
                 mod.meter_id, mod.rate_mbps, mod.burst_bytes)
+            self._invalidate_microflows()
             return self.meters[mod.meter_id]
         if mod.command == MeterMod.MODIFY:
             meter = self.meters.get(mod.meter_id)
             if meter is None:
                 raise PipelineError(f"no meter {mod.meter_id}")
             meter.reconfigure(mod.rate_mbps, mod.burst_bytes)
+            self._invalidate_microflows()
             return meter
         if mod.command == MeterMod.DELETE:
-            return self.meters.pop(mod.meter_id, None) is not None
+            existed = self.meters.pop(mod.meter_id, None) is not None
+            if existed:
+                self._invalidate_microflows()
+            return existed
         raise PipelineError(f"unknown MeterMod command {mod.command!r}")
 
     # -- bundles (atomic batched programming) -------------------------------------
@@ -204,9 +231,11 @@ class SoftwareSwitch:
         tables = (self.tables if request.table_id is None
                   else [self._table(request.table_id)])
         for table in tables:
-            for rule in table.rules():
-                if request.cookie is not None and rule.cookie != request.cookie:
-                    continue
+            # Cookie-filtered requests (per-session accounting) go through
+            # the cookie index: O(rules-per-cookie), not O(table).
+            rules = (table.find_by_cookie(request.cookie)
+                     if request.cookie is not None else table.rules())
+            for rule in rules:
                 entries.append(FlowStatsEntry(
                     table_id=table.table_id, cookie=rule.cookie,
                     priority=rule.priority, packets=rule.stats.packets,
@@ -216,61 +245,140 @@ class SoftwareSwitch:
     # -- per-packet execution ------------------------------------------------------
 
     def inject(self, pkt: Packet, in_port: str) -> None:
-        """Run a packet through the pipeline starting at table 0."""
-        self.stats["rx"] += 1
-        self._execute(pkt, in_port, table_id=0, steps=0)
+        """Run a packet through the pipeline starting at table 0.
 
-    def _execute(self, pkt: Packet, in_port: Optional[str], table_id: int,
-                 steps: int) -> None:
-        if steps > MAX_PIPELINE_STEPS:
-            raise PipelineError("pipeline loop detected")
-        table = self._table(table_id)
-        rule = table.lookup(pkt, in_port)
-        if rule is None:
-            self._punt(pkt, in_port, table_id, "table-miss")
+        First packet of a flow: classify table-by-table (tuple-space
+        search) and memoize the traversed rule chain under the packet's
+        flow key.  Subsequent packets of the same flow re-execute the
+        cached chain - meters, stats, and header rewrites still apply -
+        without touching the classifiers.
+        """
+        self.stats["rx"] += 1
+        if not self.microflow_enabled:
+            self._walk(pkt, in_port)
             return
-        rule.stats.packets += 1
-        rule.stats.bytes += pkt.size_bytes
-        for action in rule.actions:
-            if isinstance(action, act.Drop):
-                self.stats["dropped"] += 1
+        key = pkt.flow_key(in_port)
+        if key is None:
+            self.stats["mf_uncacheable"] += 1
+            self._walk(pkt, in_port)
+            return
+        cache = self._mf_cache
+        entry = cache.get(key)
+        if entry is not None:
+            if entry[1] == self._generation:
+                self.stats["mf_hits"] += 1
+                self._walk(pkt, in_port, chain=entry[0])
                 return
-            if isinstance(action, act.Output):
-                deliver = self._ports.get(action.port)
-                if deliver is None:
-                    self.stats["dropped"] += 1
-                    return
-                self.stats["tx"] += 1
-                deliver(pkt)
-                return
-            if isinstance(action, act.ToController):
-                self._punt(pkt, in_port, table_id, action.reason)
-                return
-            if isinstance(action, act.GotoTable):
-                self._execute(pkt, in_port, action.table_id, steps + 1)
-                return
-            if isinstance(action, act.SetRegister):
-                pkt.metadata[action.register] = action.value
-            elif isinstance(action, act.SetDscp):
-                ip = pkt.inner_ip()
-                if ip is not None:
-                    ip.dscp = action.dscp
-            elif isinstance(action, act.Meter):
-                meter = self.meters.get(action.meter_id)
-                if meter is None:
-                    raise PipelineError(f"rule references missing meter "
-                                        f"{action.meter_id}")
-                if not meter.allow(pkt.size_bytes, self._clock()):
-                    self.stats["meter_dropped"] += 1
-                    return
-            elif isinstance(action, act.PushGtpu):
-                gtpu_encap(pkt, action.teid, action.tunnel_src, action.tunnel_dst)
-            elif isinstance(action, act.PopGtpu):
-                gtpu_decap(pkt)
+            del cache[key]  # stale generation
+        self.stats["mf_misses"] += 1
+        chain = self._walk(pkt, in_port)
+        if chain is not None:
+            if len(cache) >= self.microflow_capacity:
+                cache.pop(next(iter(cache)))  # FIFO eviction
+                self.stats["mf_evictions"] += 1
+            cache[key] = (tuple(chain), self._generation)
+
+    def _invalidate_microflows(self) -> None:
+        """Bump the generation; every cached chain becomes stale at once."""
+        self._generation += 1
+        self.stats["mf_invalidations"] += 1
+
+    def _walk(self, pkt: Packet, in_port: Optional[str],
+              chain: Optional[Tuple[FlowRule, ...]] = None
+              ) -> Optional[List[FlowRule]]:
+        """Execute the pipeline; with ``chain``, replay it sans lookups.
+
+        Returns the traversed rule list when the walk is safe to memoize
+        (it ended in a deterministic terminal: Output, Drop, or implicit
+        drop).  Walks that punt to the controller or die at a meter return
+        None - the controller may install rules, and meter verdicts are
+        per-packet, so neither outcome may be cached.
+        """
+        record: Optional[List[FlowRule]] = [] if chain is None else None
+        table_id = 0
+        steps = 0
+        pos = 0
+        while True:
+            if chain is None:
+                if steps > MAX_PIPELINE_STEPS:
+                    raise PipelineError("pipeline loop detected")
+                rule = self._table(table_id).lookup(pkt, in_port)
+                if rule is None:
+                    self._punt(pkt, in_port, table_id, "table-miss")
+                    return None
+                record.append(rule)
             else:
-                raise PipelineError(f"unknown action {action!r}")
-        # Action list exhausted without a terminal action: implicit drop.
-        self.stats["dropped"] += 1
+                if pos >= len(chain):  # defensive: chains end at a terminal
+                    return None
+                rule = chain[pos]
+                pos += 1
+            rule.stats.packets += 1
+            rule.stats.bytes += pkt.size_bytes
+            advanced = False
+            for action in rule.actions:
+                if isinstance(action, act.Drop):
+                    self.stats["dropped"] += 1
+                    return record
+                if isinstance(action, act.Output):
+                    deliver = self._ports.get(action.port)
+                    if deliver is None:
+                        self.stats["dropped"] += 1
+                    else:
+                        self.stats["tx"] += 1
+                        deliver(pkt)
+                    return record
+                if isinstance(action, act.ToController):
+                    self._punt(pkt, in_port, table_id, action.reason)
+                    return None
+                if isinstance(action, act.GotoTable):
+                    table_id = action.table_id
+                    steps += 1
+                    advanced = True
+                    break
+                if isinstance(action, act.SetRegister):
+                    pkt.metadata[action.register] = action.value
+                elif isinstance(action, act.SetDscp):
+                    ip = pkt.inner_ip()
+                    if ip is not None:
+                        ip.dscp = action.dscp
+                elif isinstance(action, act.Meter):
+                    meter = self.meters.get(action.meter_id)
+                    if meter is None:
+                        raise PipelineError(f"rule references missing meter "
+                                            f"{action.meter_id}")
+                    if not meter.allow(pkt.size_bytes, self._clock()):
+                        self.stats["meter_dropped"] += 1
+                        return None
+                elif isinstance(action, act.PushGtpu):
+                    gtpu_encap(pkt, action.teid, action.tunnel_src,
+                               action.tunnel_dst)
+                elif isinstance(action, act.PopGtpu):
+                    gtpu_decap(pkt)
+                else:
+                    raise PipelineError(f"unknown action {action!r}")
+            if not advanced:
+                # Action list exhausted without a terminal: implicit drop.
+                self.stats["dropped"] += 1
+                return record
+
+    def datapath_stats(self) -> Dict[str, Any]:
+        """Lookup-stack observability: microflow cache + per-table subtables."""
+        return {
+            "generation": self._generation,
+            "microflow": {
+                "enabled": self.microflow_enabled,
+                "size": len(self._mf_cache),
+                "capacity": self.microflow_capacity,
+                "hits": self.stats["mf_hits"],
+                "misses": self.stats["mf_misses"],
+                "evictions": self.stats["mf_evictions"],
+                "invalidations": self.stats["mf_invalidations"],
+                "uncacheable": self.stats["mf_uncacheable"],
+            },
+            "tables": [dict(table.classifier_stats(),
+                            table_id=table.table_id)
+                       for table in self.tables],
+        }
 
     def _punt(self, pkt: Packet, in_port: Optional[str], table_id: int,
               reason: str) -> None:

@@ -123,6 +123,7 @@ class Monitor:
     def __init__(self):
         self._series: Dict[str, Series] = {}
         self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
 
     def series(self, name: str) -> Series:
         s = self._series.get(name)
@@ -142,6 +143,16 @@ class Monitor:
 
     def counters(self) -> Dict[str, float]:
         return dict(self._counters)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a last-value-wins metric (e.g. cache size, subtable count)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
 
     def names(self) -> Iterable[str]:
         return self._series.keys()

@@ -113,3 +113,49 @@ def test_remove_rule_purges_cookie_index():
     gone = table.add(rule(2, cookie="x"))
     table.remove_rule(gone.rule_id)
     assert table.find_by_cookie("x") == [kept]
+
+
+def test_remove_matching_deletes_all_in_one_pass():
+    table = FlowTable(0)
+    match = FlowMatch(ip_dst="10.0.0.1")
+    table.add(rule(10, match=match, cookie="a"))
+    table.add(rule(10, match=match, cookie="b"))
+    table.add(rule(5, match=match, cookie="other-prio"))
+    table.add(rule(10, cookie="other-match"))
+    assert table.remove_matching(match, 10) == 2
+    assert table.remove_matching(match, 10) == 0
+    assert {r.cookie for r in table.rules()} == {"other-prio", "other-match"}
+    # The cookie index is purged too.
+    assert table.find_by_cookie("a") == []
+    assert len(table.find_by_cookie("other-prio")) == 1
+
+
+def test_remove_matching_none_match_is_noop():
+    table = FlowTable(0)
+    table.add(rule(10, cookie="keep"))
+    assert table.remove_matching(None, 10) == 0
+    assert len(table) == 1
+
+
+def test_classifier_stats_decomposition():
+    table = FlowTable(0)
+    table.add(rule(10, match=FlowMatch(ip_src="10.0.0.1")))
+    table.add(rule(10, match=FlowMatch(ip_src="10.0.0.2")))
+    table.add(rule(10, match=FlowMatch(ip_dst="8.8.8.8")))
+    table.add(rule(10, match=FlowMatch(ip_src="10.0.0.0/24")))
+    stats = table.classifier_stats()
+    assert stats["rules"] == 4
+    assert stats["subtables"] == 2       # {ip_src} and {ip_dst} masks
+    assert stats["residue_rules"] == 1   # the CIDR rule
+
+
+def test_on_change_fires_for_every_mutation():
+    events = []
+    table = FlowTable(0)
+    table.on_change = lambda: events.append(1)
+    r = table.add(rule(10, cookie="x"))
+    table.add_batch([rule(5, cookie="y")])
+    table.remove_rule(r.rule_id)
+    table.remove_by_cookie("y")
+    table.clear()
+    assert len(events) == 5

@@ -97,5 +97,58 @@ def test_copy_is_independent():
     assert pkt.inner_ip().src == "10.0.0.5"
 
 
+def test_copy_is_independent_per_layer_and_metadata():
+    pkt = ip_packet("10.0.0.5", "8.8.8.8", sport=1000, dport=53)
+    gtpu_encap(pkt, teid=9, tunnel_src="agw", tunnel_dst="enb")
+    pkt.metadata["direction"] = "downlink"
+    clone = pkt.copy()
+    # Every layer is a distinct object with equal fields.
+    assert len(clone.headers) == len(pkt.headers)
+    for ours, theirs in zip(pkt.headers, clone.headers):
+        assert ours == theirs and ours is not theirs
+    # Mutating any clone layer or metadata leaves the original untouched.
+    clone.find(GtpuHeader).teid = 77
+    clone.pop()
+    clone.metadata["direction"] = "uplink"
+    assert pkt.find(GtpuHeader).teid == 9
+    assert len(pkt.headers) == 5
+    assert pkt.metadata["direction"] == "downlink"
+
+
 def test_packet_ids_unique():
     assert ip_packet("a", "b").packet_id != ip_packet("a", "b").packet_id
+
+
+# -- flow keys (microflow cache) ---------------------------------------------------
+
+
+def test_flow_key_stable_and_port_sensitive():
+    a = ip_packet("10.0.0.1", "8.8.8.8", sport=4000, dport=80)
+    b = ip_packet("10.0.0.1", "8.8.8.8", sport=4000, dport=80)
+    assert a.flow_key("ran") == b.flow_key("ran")
+    assert a.flow_key("ran") != b.flow_key("internet")
+
+
+def test_flow_key_distinguishes_header_fields_and_structure():
+    base = ip_packet("10.0.0.1", "8.8.8.8", dport=80)
+    other_port = ip_packet("10.0.0.1", "8.8.8.8", dport=443)
+    tcp = ip_packet("10.0.0.1", "8.8.8.8", proto=PROTO_TCP, dport=80)
+    tunneled = gtpu_encap(ip_packet("10.0.0.1", "8.8.8.8", dport=80),
+                          5, "enb", "agw")
+    keys = {p.flow_key("ran") for p in (base, other_port, tcp, tunneled)}
+    assert len(keys) == 4
+
+
+def test_flow_key_includes_metadata():
+    a = ip_packet("10.0.0.1", "8.8.8.8")
+    b = ip_packet("10.0.0.1", "8.8.8.8")
+    b.metadata["decapped_teid"] = 5
+    assert a.flow_key("ran") != b.flow_key("ran")
+
+
+def test_flow_key_uncacheable_cases():
+    unknown_layer = Packet(headers=[object()])
+    assert unknown_layer.flow_key("ran") is None
+    unhashable = ip_packet("a", "b")
+    unhashable.metadata["trace"] = [1, 2]
+    assert unhashable.flow_key("ran") is None
