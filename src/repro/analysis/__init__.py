@@ -1,0 +1,36 @@
+"""reprolint: domain-aware static analysis for the Magma reproduction.
+
+The paper's architecture rests on a handful of load-bearing invariants
+that ordinary linters cannot see:
+
+- **Crash recovery** (§3.3): runtime state checkpointed by ``magmad`` must
+  round-trip completely — a field silently dropped from a snapshot is a
+  latent recovery bug (PR 1's ECM ``connected`` flag was exactly this).
+- **Deterministic replay**: all time and randomness flow through the sim
+  kernel (``sim.now``) and named RNG streams (``repro.sim.rng``); wall
+  clocks and the global ``random`` module break replicability.
+- **Cooperative scheduling**: sim coroutines must never block the real
+  thread (``time.sleep``, sockets, file IO) — one blocking call stalls
+  every simulated process.
+- **Desired-state sync** (§3.4): configuration is only ever written by the
+  orchestrator and converges replicas with full-state pushes; per-entry
+  CRUD deltas on replicated stores are the anti-pattern the paper rejects.
+- **Failure hygiene**: broad ``except`` clauses need a stated reason, or
+  they hide the very session errors the fault-domain analysis measures.
+
+Each invariant is a pluggable AST rule (see :mod:`repro.analysis.rules`).
+Run the pass with ``python -m repro.analysis src``; suppress individual
+lines with ``# reprolint: disable=<rule>`` and known legacy findings with
+a ``--baseline`` file.
+"""
+
+from .core import (  # noqa: F401  (public API re-exports)
+    Baseline,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    register,
+)

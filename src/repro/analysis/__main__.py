@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed stdout early; point
+        # the fd at devnull so interpreter shutdown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,152 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean (or fully suppressed), 1 violations, 2 usage or parse
+errors.  ``--json-output`` always writes the machine report (CI uploads
+it as an artifact even when the step fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .core import Baseline, Finding, all_rules, analyze_paths
+
+#: Auto-loaded from the working directory when --baseline is not given.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("reprolint: static analysis enforcing the "
+                     "reproduction's core invariants (checkpoint "
+                     "completeness, determinism, non-blocking coroutines, "
+                     "desired-state sync, failure hygiene)"))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report on stdout instead of text")
+    parser.add_argument("--json-output", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings matching this baseline file "
+                             f"(default: ./{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline, including the default")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings to FILE as a baseline "
+                             "and exit 0")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule names to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"    {rule.description}")
+        lines.append(f"    guards: {rule.invariant}")
+    return "\n".join(lines)
+
+
+def _report(findings: List[Finding], suppressed: int,
+            unused, parse_errors, file_count: int, rules) -> dict:
+    return {
+        "tool": "reprolint",
+        "version": 1,
+        "rules": [rule.name for rule in rules],
+        "files_analyzed": file_count,
+        "findings": [finding.to_dict() for finding in findings],
+        "suppressed_by_baseline": suppressed,
+        "unused_baseline_entries": unused,
+        "parse_errors": parse_errors,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+    try:
+        rules = all_rules(select)
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        findings, parse_errors, file_count = analyze_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.write(args.write_baseline, findings)
+        print(f"reprolint: wrote {len(findings)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    suppressed = 0
+    unused: List[dict] = []
+    if baseline_path and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"reprolint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        kept = []
+        for finding in findings:
+            if baseline.suppresses(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        findings = kept
+        unused = baseline.unused_entries()
+
+    report = _report(findings, suppressed, unused, parse_errors,
+                     file_count, rules)
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding.render())
+        for error in parse_errors:
+            print(f"{error['path']}: PARSE ERROR: {error['message']}")
+        summary = (f"reprolint: {file_count} file(s), "
+                   f"{len(findings)} finding(s)")
+        if suppressed:
+            summary += f", {suppressed} baseline-suppressed"
+        print(summary)
+        for entry in unused:
+            print(f"reprolint: note: unused baseline entry "
+                  f"{entry['rule']} @ {entry['path']}")
+
+    if parse_errors:
+        return 2
+    return 1 if findings else 0

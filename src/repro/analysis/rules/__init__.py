@@ -1,0 +1,3 @@
+"""Rule modules.  Importing this package registers every rule."""
+
+from . import blocking, checkpoint, determinism, excepts, statesync  # noqa: F401

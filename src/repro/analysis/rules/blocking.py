@@ -1,0 +1,68 @@
+"""no-blocking-in-coroutine: sim coroutines must stay cooperative.
+
+Every protocol state machine, RPC exchange, and workload in this
+reproduction is a generator scheduled on ``repro.sim.kernel``.  The
+kernel interleaves thousands of them in one OS thread; a single
+``time.sleep`` or real socket/file operation stalls *all* simulated
+processes and decouples virtual time from progress.  Anything slow must
+be expressed as virtual time (``yield sim.timeout(...)``) or an event.
+
+Heuristic: any generator (a function whose own scope yields) or ``async
+def`` in the tree is treated as a sim coroutine — in this codebase that
+convention holds by construction.  Calls made through deferred nested
+functions are attributed to the nested function, not the coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import (FileContext, Finding, Rule, dotted_name, is_generator,
+                    register, walk_own_scope)
+
+BLOCKING_CALLS = {
+    "time.sleep",
+    "socket.socket", "socket.create_connection",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.request",
+}
+
+BLOCKING_BUILTINS = {"open", "input"}
+
+
+@register
+class NoBlockingInCoroutine(Rule):
+    name = "no-blocking-in-coroutine"
+    code = "REPRO301"
+    description = ("ban blocking calls (time.sleep, sockets, file IO) "
+                   "inside generator/async coroutines")
+    invariant = ("cooperative simulation: one blocking call stalls every "
+                 "simulated process on the kernel")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(func, ast.FunctionDef) and not is_generator(func):
+                continue
+            for node in walk_own_scope(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name in BLOCKING_CALLS:
+                    yield self.finding(
+                        ctx, node,
+                        f"blocking call {name}() inside coroutine "
+                        f"'{func.name}' stalls the whole event loop; yield "
+                        f"sim.timeout()/an event instead")
+                elif (isinstance(node.func, ast.Name)
+                        and node.func.id in BLOCKING_BUILTINS):
+                    yield self.finding(
+                        ctx, node,
+                        f"blocking builtin {node.func.id}() inside coroutine "
+                        f"'{func.name}' performs real IO on the sim thread; "
+                        f"move it outside the coroutine or model it as "
+                        f"virtual-time work")

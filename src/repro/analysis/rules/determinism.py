@@ -1,0 +1,83 @@
+"""Determinism rules: no wall clocks, no unseeded global randomness.
+
+Experiments must be replicable (the paper's Landslide testbed emphasises
+replicable emulation): two runs with the same root seed must produce the
+same trace.  Virtual time comes from the kernel (``sim.now`` /
+``sim.timeout``); randomness comes from named, independently-seeded
+streams (``repro.sim.rng.RngRegistry``).  Wall-clock reads and the global
+``random`` module both smuggle nondeterminism past the seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, dotted_name, register
+
+WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+}
+
+_RANDOM_MODULE_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+
+@register
+class NoWallclock(Rule):
+    name = "no-wallclock"
+    code = "REPRO201"
+    description = ("ban wall-clock reads; simulated code takes time from "
+                   "the kernel (sim.now)")
+    invariant = "deterministic replay: virtual time only"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call {name}() breaks deterministic replay; "
+                    f"take virtual time from the sim kernel (sim.now)")
+
+
+@register
+class NoUnseededRandom(Rule):
+    name = "no-unseeded-random"
+    code = "REPRO202"
+    description = ("ban the global random module outside sim/rng.py; draw "
+                   "from named RngRegistry streams")
+    invariant = "deterministic replay: all randomness through seeded streams"
+    exempt_suffixes = ("sim/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx, node,
+                            "import of the global 'random' module outside "
+                            "sim/rng.py; draw from a named "
+                            "repro.sim.rng.RngRegistry stream instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "from-import of the global 'random' module outside "
+                        "sim/rng.py; draw from a named "
+                        "repro.sim.rng.RngRegistry stream instead")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.startswith(_RANDOM_MODULE_PREFIXES):
+                    yield self.finding(
+                        ctx, node,
+                        f"call to module-level {name}() is seeded globally "
+                        f"(or not at all); draw from a named "
+                        f"repro.sim.rng.RngRegistry stream instead")

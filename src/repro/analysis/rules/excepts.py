@@ -1,0 +1,86 @@
+"""broad-except-hygiene: broad handlers need a stated reason.
+
+The fault-domain analysis (§3.3) depends on failures being *visible*: a
+``except Exception`` that silently swallows errors hides exactly the
+session faults the paper's small-fault-domain argument measures.  Broad
+handlers are sometimes right (process boundaries, best-effort reporting),
+so the rule demands a same-line justification comment rather than banning
+them outright.
+
+Accepted justifications (same line as the ``except``):
+
+- any comment with real words, e.g. ``# cell full, eNB down, ...``
+- a tagged reason, e.g. ``# noqa: BLE001 - surfaced to caller``
+
+A bare tag with no reason (``# noqa: BLE001`` alone) does not count.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+_NOQA_PREFIX = re.compile(r"^noqa(?::\s*[A-Z0-9, ]+)?", re.IGNORECASE)
+_SEPARATORS = " \t-–—:,."
+#: Minimum characters of actual justification text.
+MIN_REASON_CHARS = 3
+
+
+def _broad_kind(handler: ast.ExceptHandler):
+    """'bare', the broad class name, or None for a narrow handler."""
+    if handler.type is None:
+        return "bare"
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = list(handler.type.elts)
+    else:
+        names = [handler.type]
+    for node in names:
+        if isinstance(node, ast.Name) and node.id in BROAD_NAMES:
+            return node.id
+    return None
+
+
+def _justification(line: str) -> str:
+    """The justification text carried by the line's comment, if any."""
+    hash_index = line.find("#")
+    if hash_index < 0:
+        return ""
+    comment = line[hash_index + 1:].strip()
+    # A pragma is handled by the suppression layer, not treated as prose.
+    comment = re.sub(r"reprolint:\s*disable=[A-Za-z0-9_,\- ]+", "", comment)
+    comment = _NOQA_PREFIX.sub("", comment.strip())
+    return comment.strip(_SEPARATORS)
+
+
+@register
+class BroadExceptHygiene(Rule):
+    name = "broad-except-hygiene"
+    code = "REPRO501"
+    description = ("except Exception / bare except must carry a same-line "
+                   "justification comment")
+    invariant = ("failure visibility: swallowed errors hide the session "
+                 "faults the fault-domain analysis measures (§3.3)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            kind = _broad_kind(node)
+            if kind is None:
+                continue
+            reason = _justification(ctx.line_text(node.lineno))
+            if len(reason) >= MIN_REASON_CHARS:
+                continue
+            what = ("bare 'except:'" if kind == "bare"
+                    else f"'except {kind}'")
+            yield self.finding(
+                ctx, node,
+                f"{what} without a same-line justification comment swallows "
+                f"kernel and programming errors alike; catch the specific "
+                f"failure or state why broad is right here")

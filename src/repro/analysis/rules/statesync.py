@@ -1,0 +1,83 @@
+"""desired-state-sync: configuration converges by full-state push, not deltas.
+
+§3.4's central design argument: configuration state "is only ever written
+by the orchestrator", and replicas converge by receiving the *entire*
+desired state — one successful sync heals any number of lost updates.
+Per-entry CRUD writes on a replicated store are the 3GPP-style
+anti-pattern the paper (and TEGRA's critique of monolithic cores)
+rejects: a lost delta silently desynchronizes the replica forever.
+
+Detection: method calls that mutate one entry of an orchestrator-owned
+store — ``upsert``/``delete`` on receivers named like replicated config
+caches (``subscriberdb``, ``policydb``, ``hss``) and ``put``/``delete``
+on config stores (``store``, ``config_store``) — outside the
+orchestrator's own modules.  The sanctioned replica write path is
+``apply_desired_state`` / ``apply_desired_config``.
+
+Legitimate exceptions carry a pragma (e.g. the MME's federated-profile
+cache fill, which is runtime state, not config sync) or a baseline entry
+(experiment harnesses that pre-provision SIMs the way the paper's
+evaluation does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import FileContext, Finding, Rule, register
+
+REPLICA_RECEIVERS = {"subscriberdb", "policydb", "hss"}
+REPLICA_METHODS = {"upsert", "delete"}
+
+STORE_RECEIVERS = {"store", "config_store", "_store"}
+STORE_METHODS = {"put", "delete"}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of the receiver expression (``a.b.c`` -> 'c')."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class DesiredStateSync(Rule):
+    name = "desired-state-sync"
+    code = "REPRO401"
+    description = ("flag per-entry CRUD mutation of orchestrator-owned "
+                   "config stores outside the orchestrator")
+    invariant = ("desired-state model (§3.4): config written only by the "
+                 "orchestrator, replicas converge by full-state push")
+    exempt_suffixes = (
+        "core/orchestrator/statesync.py",
+        "core/orchestrator/config_store.py",
+        "core/orchestrator/orchestrator.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            receiver = _terminal_name(func.value)
+            if receiver is None:
+                continue
+            if receiver in REPLICA_RECEIVERS and method in REPLICA_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f"direct {method}() on replicated config store "
+                    f"'{receiver}' is a CRUD delta; desired state flows "
+                    f"from the orchestrator via apply_desired_state() "
+                    f"(a lost delta desynchronizes the replica forever)")
+            elif receiver in STORE_RECEIVERS and method in STORE_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f"direct {method}() on config store '{receiver}' "
+                    f"outside the orchestrator; configuration is only ever "
+                    f"written by the orchestrator (§3.4)")

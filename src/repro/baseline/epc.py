@@ -90,7 +90,9 @@ class MonolithicEpc:
     # -- provisioning ------------------------------------------------------------
 
     def provision(self, profile: SubscriberProfile) -> None:
-        self.hss.upsert(profile)
+        # The baseline EPC *is* the CRUD-style monolith the paper argues
+        # against; its HSS is provisioned directly by design.
+        self.hss.upsert(profile)  # reprolint: disable=desired-state-sync
 
     def crash(self) -> None:
         """The big fault domain: everything behind this core goes dark."""

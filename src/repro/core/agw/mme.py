@@ -324,12 +324,14 @@ class AccessManagement:
             return False
         policy = response["policy"]
         if isinstance(policy, PolicyRule):
-            self.sessiond.policydb.upsert(policy)
+            # Runtime roaming-cache fill (§3.6 local breakout), not config
+            # sync: the MNO, not our orchestrator, owns this policy.
+            self.sessiond.policydb.upsert(policy)  # reprolint: disable=desired-state-sync
             policy_id = policy.policy_id
         else:
             policy_id = "default"
         from .subscriberdb import SubscriberProfile
-        self.subscriberdb.upsert(SubscriberProfile(
+        self.subscriberdb.upsert(SubscriberProfile(  # reprolint: disable=desired-state-sync
             imsi=imsi, policy_id=policy_id, federated=True))
         return True
 

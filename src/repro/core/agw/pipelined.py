@@ -96,7 +96,7 @@ class Pipelined:
         self._pending = []
         try:
             yield self
-        except BaseException:
+        except BaseException:  # roll back the bundle, re-raise unchanged
             self._pending = None
             raise
         mods, self._pending = self._pending, None

@@ -398,6 +398,7 @@ class Sessiond:
                 "installed_rate_mbps": record.installed_rate_mbps,
                 "home_routed": record.home_routed,
                 "connected": record.connected,
+                "cumulative_quota_used": record.cumulative_quota_used,
                 "total_bytes": enforcement.total_bytes,
                 "interval_bytes": enforcement.interval_bytes,
                 "interval_start": enforcement.interval_start,
@@ -439,6 +440,8 @@ class Sessiond:
                     installed_rate_mbps=entry["installed_rate_mbps"],
                     home_routed=entry.get("home_routed", False),
                     connected=entry.get("connected", True),
+                    cumulative_quota_used=entry.get(
+                        "cumulative_quota_used", 0),
                     enforcement=enforcement)
                 self._sessions[imsi] = record
                 self._teids.reserve(record.agw_teid)

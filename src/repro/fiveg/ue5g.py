@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..lte import auth
+from ..lte.radio import CellCapacityError
 from ..sim.kernel import Event, Simulator
 from . import nas5g
 
@@ -161,7 +162,7 @@ class Ue5g:
         if connect:
             try:
                 self.gnb.rrc_connect(self)
-            except Exception:
+            except CellCapacityError:  # cell full or NG down: fails cleanly
                 self.state = failure_state
                 self.stats[failure_counter] += 1
                 result.succeed(False)
@@ -171,7 +172,7 @@ class Ue5g:
         guard = self.sim.timeout(self.guard_timer)
         try:
             race = yield self.sim.any_of([inner, guard])
-        except Exception:
+        except Exception:  # any failed procedure event means the attempt failed
             race = {}
         ok = inner in race and inner.value is True
         if ok:

@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..net.rpc import RpcError
 from ..sim.kernel import Event, Simulator
 from . import auth, nas
+from .radio import CellCapacityError
 
 
 class UeState:
@@ -169,7 +171,7 @@ class Ue:
         def proc(sim):
             try:
                 self.enb.rrc_connect(self)
-            except Exception:
+            except CellCapacityError:  # cell full or S1 down: SR fails clean
                 result.succeed(False)
                 return
             self._sr_done = self.sim.event("sr-inner")
@@ -214,14 +216,14 @@ class Ue:
         try:
             ack_event = target_enb.handover_in(self,
                                                source_context.mme_ue_id)
-        except Exception:
+        except CellCapacityError:  # target cell full or its S1 is down
             result.succeed(False)
             return result
 
         def proc(sim):
             try:
                 ack = yield ack_event
-            except Exception:
+            except RpcError:  # path-switch RPC to the core failed/timed out
                 target_enb.rrc_release(self)
                 result.succeed(False)
                 return

@@ -256,8 +256,8 @@ class Process(Event):
             # failed": surface it as a failure so waiters notice.
             self.fail(exc)
             return
-        except BaseException as exc:
-            self.fail(exc)
+        except BaseException as exc:  # process boundary: any error in user
+            self.fail(exc)            # code must fail the process event
             return
         if not isinstance(target, Event):
             self.sim.schedule(

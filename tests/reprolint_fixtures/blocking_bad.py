@@ -1,0 +1,19 @@
+"""Known-bad fixture: blocking calls inside sim coroutines."""
+
+import time
+
+
+def poller(sim):
+    while True:
+        time.sleep(0.1)  # BLOCKING-MARKER-SLEEP
+        yield sim.timeout(1.0)
+
+
+def log_reader(sim, path):
+    handle = open(path)  # BLOCKING-MARKER-OPEN
+    yield sim.timeout(1.0)
+    handle.close()
+
+
+async def fetcher(path):
+    return open(path)  # BLOCKING-MARKER-ASYNC-OPEN

@@ -1,0 +1,20 @@
+"""Known-good fixture: plain functions may do IO; coroutines stay virtual."""
+
+
+def load_trace(path):
+    # Not a coroutine: ordinary setup code may touch the filesystem.
+    with open(path) as handle:
+        return handle.read()
+
+
+def worker(sim, interval):
+    while True:
+        yield sim.timeout(interval)
+
+
+def spawn_reader(sim, path):
+    def deferred():
+        # Runs outside the coroutine's own scope (attributed separately).
+        return load_trace(path)
+    yield sim.timeout(1.0)
+    return deferred

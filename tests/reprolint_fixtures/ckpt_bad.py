@@ -1,0 +1,45 @@
+"""Known-bad fixture: the PR 1 ECM-flag bug shape.
+
+``connected`` is runtime state on the checkpointed record, but the
+serializer never reads it and the restorer never writes it back — so it
+silently drops out of every snapshot and every restored session comes
+back "connected" even if the UE was idle.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionRecord:
+    session_id: str
+    imsi: str
+    ue_ip: str
+    bytes_dl: int = 0
+    connected: bool = True  # ECM-BUG-MARKER: dropped from snapshots
+
+
+class Sessiond:
+    def __init__(self):
+        self._sessions = {}
+
+    def checkpoint(self):
+        snapshot = []
+        for record in self._sessions.values():
+            snapshot.append({
+                "session_id": record.session_id,
+                "imsi": record.imsi,
+                "ue_ip": record.ue_ip,
+                "bytes_dl": record.bytes_dl,
+            })
+        return snapshot
+
+    def restore(self, snapshot):
+        for entry in snapshot:
+            record = SessionRecord(
+                session_id=entry["session_id"],
+                imsi=entry["imsi"],
+                ue_ip=entry["ue_ip"],
+                bytes_dl=entry["bytes_dl"],
+            )
+            self._sessions[record.imsi] = record
+        return len(self._sessions)

@@ -1,0 +1,41 @@
+"""Known-good fixture: every record field round-trips the checkpoint."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionRecord:
+    session_id: str
+    imsi: str
+    ue_ip: str
+    bytes_dl: int = 0
+    connected: bool = True
+
+
+class Sessiond:
+    def __init__(self):
+        self._sessions = {}
+
+    def checkpoint(self):
+        snapshot = []
+        for record in self._sessions.values():
+            snapshot.append({
+                "session_id": record.session_id,
+                "imsi": record.imsi,
+                "ue_ip": record.ue_ip,
+                "bytes_dl": record.bytes_dl,
+                "connected": record.connected,
+            })
+        return snapshot
+
+    def restore(self, snapshot):
+        for entry in snapshot:
+            record = SessionRecord(
+                session_id=entry["session_id"],
+                imsi=entry["imsi"],
+                ue_ip=entry["ue_ip"],
+                bytes_dl=entry["bytes_dl"],
+                connected=entry.get("connected", True),
+            )
+            self._sessions[record.imsi] = record
+        return len(self._sessions)

@@ -1,0 +1,13 @@
+"""Known-good fixture: virtual time from the kernel, named RNG streams."""
+
+
+def sample_latency(sim, events):
+    started = sim.now
+    for event in events:
+        event.fire()
+    return sim.now - started
+
+
+def jitter(rng_registry, base):
+    stream = rng_registry.stream("backhaul.jitter")
+    return base * (1.0 + stream.random())

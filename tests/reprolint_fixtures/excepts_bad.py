@@ -1,0 +1,16 @@
+"""Known-bad fixture: broad exception handlers with no stated reason."""
+
+
+def swallow_everything(risky):
+    try:
+        risky()
+    except Exception:
+        pass  # EXCEPT-MARKER-1 is the handler two lines up
+    try:
+        risky()
+    except:
+        pass  # EXCEPT-MARKER-2 (bare)
+    try:
+        risky()
+    except Exception:  # noqa: BLE001
+        pass  # EXCEPT-MARKER-3 (bare tag, no reason)

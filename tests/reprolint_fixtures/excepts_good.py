@@ -1,0 +1,16 @@
+"""Known-good fixture: narrow handlers, or broad ones with a reason."""
+
+
+def tolerate(risky):
+    try:
+        risky()
+    except ValueError:
+        pass
+    try:
+        risky()
+    except Exception:  # best-effort cleanup; never fail the caller
+        pass
+    try:
+        risky()
+    except Exception:  # noqa: BLE001 - surfaced to caller via the event
+        pass

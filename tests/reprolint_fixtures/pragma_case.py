@@ -1,0 +1,7 @@
+"""Fixture exercising per-line pragmas: every violation is suppressed."""
+
+import random  # reprolint: disable=no-unseeded-random
+
+
+def jitter(base):
+    return base * random.random()  # reprolint: disable=all

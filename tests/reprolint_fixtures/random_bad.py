@@ -1,0 +1,11 @@
+"""Known-bad fixture: global random module outside sim/rng.py."""
+
+import random  # RANDOM-MARKER-IMPORT
+
+
+def jitter(base):
+    return base * (1.0 + random.random())  # RANDOM-MARKER-CALL
+
+
+def pick(items):
+    return random.choice(items)  # RANDOM-MARKER-CHOICE

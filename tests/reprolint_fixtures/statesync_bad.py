@@ -1,0 +1,7 @@
+"""Known-bad fixture: CRUD deltas on orchestrator-owned stores."""
+
+
+def provision(gateway, profile, policy):
+    gateway.subscriberdb.upsert(profile)  # STATESYNC-MARKER-UPSERT
+    gateway.policydb.delete(policy.policy_id)  # STATESYNC-MARKER-DELETE
+    gateway.store.put("subscribers", profile.imsi)  # STATESYNC-MARKER-PUT

@@ -1,0 +1,10 @@
+"""Known-good fixture: replicas converge via full desired-state pushes."""
+
+
+def converge(gateway, bundle, version):
+    gateway.subscriberdb.apply_desired_state(bundle["subscribers"], version)
+    gateway.policydb.apply_desired_state(bundle["policies"], version)
+
+
+def read_only(gateway, imsi):
+    return gateway.subscriberdb.get(imsi)

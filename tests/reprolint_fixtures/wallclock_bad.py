@@ -1,0 +1,16 @@
+"""Known-bad fixture: wall-clock reads inside simulated code."""
+
+import time
+from datetime import datetime
+
+
+def sample_latency(events):
+    started = time.time()  # WALLCLOCK-MARKER-1
+    for event in events:
+        event.fire()
+    return time.time() - started  # WALLCLOCK-MARKER-2
+
+
+def stamp_record(record):
+    record["at"] = datetime.now()  # WALLCLOCK-MARKER-3
+    return record
