@@ -87,7 +87,7 @@ def main():
 
     # 8. The orchestrator saw it all through metrics.
     sim.run(until=sim.now + 10.0)
-    sample = orc.metricsd.latest("attach_accepted", {"gateway": "agw-1"})
+    sample = orc.metricsd.latest("attach_accepted", {"gateway_id": "agw-1"})
     print(f"[t={sim.now:5.1f}s] orchestrator metric attach_accepted="
           f"{sample.value:.0f} for agw-1")
     print("quickstart complete")

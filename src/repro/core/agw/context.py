@@ -107,6 +107,11 @@ class AgwConfig:
     # Multi-network (tenant) membership: which logical network's config
     # this gateway pulls from the orchestrator.
     network_id: str = "default"
+    # Telemetry buffering during headless operation (§3.4): how many
+    # check-in-interval snapshots to retain while the orchestrator is
+    # unreachable, and how many to back-fill per check-in on reconnect.
+    metrics_buffer_max: int = 240
+    metrics_max_backfill: int = 20
 
 
 class AgwContext:
@@ -128,3 +133,12 @@ class AgwContext:
             partition=self.config.cpu_partition, monitor=self.monitor,
             name=node)
         network.add_node(node)
+
+    @property
+    def tracer(self):
+        """The installed :class:`repro.obs.tracing.Tracer`, or a no-op."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            from ...obs.tracing import NOOP_TRACER
+            return NOOP_TRACER
+        return tracer

@@ -148,13 +148,25 @@ class AccessGateway:
         }
 
     def metrics_summary(self) -> Dict[str, float]:
+        """The per-gateway telemetry bundle shipped at every check-in.
+
+        Session/attach counters, the pipelined lookup-stack gauges
+        (``dp_microflow_*``, ``dp_rules``, ...) and everything accumulated
+        in the AGW monitor, flattened to one {name: value} payload that
+        metricsd labels with this gateway's id.
+        """
+        self.pipelined.record_datapath_metrics()
         mme = self.mme.stats
-        return {
+        metrics: Dict[str, float] = {
             "attach_requests": float(mme["attach_requests"]),
             "attach_accepted": float(mme["attach_accepted"]),
             "attach_rejected": float(mme["attach_rejected"]),
             "sessions_active": float(self.sessiond.session_count()),
         }
+        monitor = self.context.monitor
+        metrics.update(monitor.counters())
+        metrics.update(monitor.gauges())
+        return metrics
 
     # -- traffic integration (fluid user plane) ------------------------------------------
 

@@ -69,18 +69,22 @@ class InterAgwMobility:
         if session is None:
             self.stats["transfer_misses"] += 1
             raise RpcError(RpcError.NOT_FOUND, f"no session for {imsi}")
-        enforcement = session.enforcement
-        transferred = TransferredContext(
-            imsi=imsi, policy_id=session.policy_id,
-            total_bytes=enforcement.total_bytes,
-            interval_bytes=enforcement.interval_bytes,
-            interval_start=enforcement.interval_start,
-            source_agw=self.context.node,
-            bytes_dl=session.bytes_dl, bytes_ul=session.bytes_ul)
-        # Final usage is reported and the session released at the source;
-        # unspent OCS quota is returned uncharged (no double spend).
-        self.sessiond.terminate_session(imsi, reason="handover-out")
-        self.stats["transfers_out"] += 1
+        with self.context.tracer.child("s10.context_transfer_out",
+                                       component="inter_agw",
+                                       node=self.context.node):
+            enforcement = session.enforcement
+            transferred = TransferredContext(
+                imsi=imsi, policy_id=session.policy_id,
+                total_bytes=enforcement.total_bytes,
+                interval_bytes=enforcement.interval_bytes,
+                interval_start=enforcement.interval_start,
+                source_agw=self.context.node,
+                bytes_dl=session.bytes_dl, bytes_ul=session.bytes_ul)
+            # Final usage is reported and the session released at the
+            # source; unspent OCS quota is returned uncharged (no double
+            # spend).
+            self.sessiond.terminate_session(imsi, reason="handover-out")
+            self.stats["transfers_out"] += 1
         return transferred
 
     # -- target side ------------------------------------------------------------------
@@ -93,12 +97,20 @@ class InterAgwMobility:
             channel = RpcChannel(self.context.sim, self.context.network,
                                  self.context.node, source_agw)
             self._channels[source_agw] = channel
+        span = self.context.tracer.begin("handover.s10_fetch",
+                                         component="inter_agw",
+                                         node=self.context.node,
+                                         tags={"imsi": imsi,
+                                               "source": source_agw})
         try:
-            transferred = yield channel.call(
-                S10_SERVICE, "context_transfer", {"imsi": imsi},
-                deadline=self.context.config.rpc_deadline)
+            with span.active():
+                transferred = yield channel.call(
+                    S10_SERVICE, "context_transfer", {"imsi": imsi},
+                    deadline=self.context.config.rpc_deadline)
         except RpcError:
+            span.end("error")
             return None
+        span.end()
         self.sessiond.stage_transfer(transferred)
         self.stats["transfers_in"] += 1
         return transferred

@@ -16,7 +16,8 @@ Three responsibilities, straight from §3.2-3.4 of the paper:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Optional
 
 from ...net.rpc import RpcChannel, RpcError
 from .context import AgwContext
@@ -58,8 +59,17 @@ class Magmad:
                                            context.node, orchestrator_node)
         self.config_version = 0
         self.running = False
+        # Best-effort telemetry (§3.4): every check-in snapshots the
+        # gateway's metrics into a seq-numbered buffer; the orchestrator
+        # acks the highest seq it ingested.  During headless gaps the
+        # buffer accumulates (bounded - oldest dropped) and is back-filled
+        # on reconnect; the ack makes redelivery duplicate-free.
+        self._metrics_buffer: Deque[Dict[str, Any]] = deque(
+            maxlen=context.config.metrics_buffer_max)
+        self._metrics_seq = 0
         self.stats = {"checkpoints": 0, "checkins_ok": 0,
-                      "checkins_failed": 0, "configs_applied": 0}
+                      "checkins_failed": 0, "configs_applied": 0,
+                      "metrics_buffered": 0, "metrics_acked": 0}
 
     def start(self) -> None:
         if self.running:
@@ -77,14 +87,17 @@ class Magmad:
     # -- checkpointing -------------------------------------------------------------
 
     def checkpoint_now(self) -> Dict[str, Any]:
-        snapshot = {
-            "time": self.context.sim.now,
-            "sessions": self.gateway.sessiond.checkpoint(),
-            "config_version": self.config_version,
-        }
-        if self.checkpoint_store is not None:
-            self.checkpoint_store.save(self.context.node, snapshot)
-        self.stats["checkpoints"] += 1
+        with self.context.tracer.begin("magmad.checkpoint",
+                                       component="magmad",
+                                       node=self.context.node):
+            snapshot = {
+                "time": self.context.sim.now,
+                "sessions": self.gateway.sessiond.checkpoint(),
+                "config_version": self.config_version,
+            }
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.save(self.context.node, snapshot)
+            self.stats["checkpoints"] += 1
         return snapshot
 
     def _checkpoint_loop(self):
@@ -99,24 +112,56 @@ class Magmad:
 
     def checkin_once(self):
         """Generator: one check-in exchange with the orchestrator."""
+        self._buffer_metrics()
+        backlog = list(self._metrics_buffer)
+        max_backfill = self.context.config.metrics_max_backfill
+        if len(backlog) > max_backfill:
+            backlog = backlog[:max_backfill]  # oldest first; rest next round
         request = {
             "gateway_id": self.context.node,
             "network_id": self.context.config.network_id,
             "config_version": self.config_version,
             "status": self.gateway.status_summary(),
-            "metrics": self.gateway.metrics_summary(),
+            "metrics_backlog": backlog,
         }
+        span = self.context.tracer.begin("magmad.checkin",
+                                         component="magmad",
+                                         node=self.context.node)
         try:
-            response = yield self._orc_channel.call(
-                "statesync", "checkin", request,
-                deadline=self.context.config.rpc_deadline)
+            with span.active():
+                response = yield self._orc_channel.call(
+                    "statesync", "checkin", request,
+                    deadline=self.context.config.rpc_deadline)
         except RpcError:
             self.stats["checkins_failed"] += 1
+            span.end("error")
             return False
+        span.end()
         self.stats["checkins_ok"] += 1
+        self._ack_metrics(response.get("metrics_ack"))
         if response.get("config") is not None:
             self.apply_config(response["config"], response["config_version"])
         return True
+
+    def _buffer_metrics(self) -> None:
+        """Snapshot current metrics into the seq-numbered backlog."""
+        self._metrics_seq += 1
+        self._metrics_buffer.append({
+            "seq": self._metrics_seq,
+            "time": self.context.sim.now,
+            "metrics": self.gateway.metrics_summary(),
+        })
+        self.stats["metrics_buffered"] += 1
+
+    def _ack_metrics(self, ack: Optional[int]) -> None:
+        if ack is None:
+            return
+        while self._metrics_buffer and self._metrics_buffer[0]["seq"] <= ack:
+            self._metrics_buffer.popleft()
+            self.stats["metrics_acked"] += 1
+
+    def metrics_backlog_depth(self) -> int:
+        return len(self._metrics_buffer)
 
     def _checkin_loop(self):
         interval = self.context.config.checkin_interval

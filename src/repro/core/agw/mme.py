@@ -130,9 +130,13 @@ class AccessManagement:
                     ue_ref, nas.AttachReject(imsi=message.imsi,
                                              cause="congestion"))
                 return
-            self.context.sim.spawn(
+            span = self.context.tracer.child(
+                "mme.attach_stage1", component="mme", node=self.context.node)
+            proc = self.context.sim.spawn(
                 self._attach_stage1(frontend, ue_ref, message),
-                name=f"mme-attach:{message.imsi}")
+                name=f"mme-attach:{message.imsi}", ctx=span.context)
+            if span.recording:
+                span.end_on(proc)
         elif isinstance(message, nas.ServiceRequest):
             self._handle_service_request(frontend, ue_ref, message)
         # Other initial messages ignored.
@@ -153,13 +157,21 @@ class AccessManagement:
                     self.directoryd.remove(message.imsi)
             return
         if isinstance(message, nas.AuthenticationResponse):
-            self.context.sim.spawn(
+            span = self.context.tracer.child(
+                "mme.attach_stage2", component="mme", node=self.context.node)
+            proc = self.context.sim.spawn(
                 self._attach_stage2(ue_context, message),
-                name=f"mme-auth:{ue_context.imsi}")
+                name=f"mme-auth:{ue_context.imsi}", ctx=span.context)
+            if span.recording:
+                span.end_on(proc)
         elif isinstance(message, nas.SecurityModeComplete):
-            self.context.sim.spawn(
+            span = self.context.tracer.child(
+                "mme.attach_stage3", component="mme", node=self.context.node)
+            proc = self.context.sim.spawn(
                 self._attach_stage3(ue_context),
-                name=f"mme-session:{ue_context.imsi}")
+                name=f"mme-session:{ue_context.imsi}", ctx=span.context)
+            if span.recording:
+                span.end_on(proc)
         elif isinstance(message, nas.AttachComplete):
             self._on_attach_complete(ue_context)
         elif isinstance(message, nas.DetachRequest):
@@ -352,16 +364,19 @@ class AccessManagement:
     def _on_detach(self, ue_context: MmeUeContext,
                    message: nas.DetachRequest) -> None:
         self.stats["detaches"] += 1
-        self.sessiond.terminate_session(ue_context.imsi, reason="detach")
-        if not message.switch_off:
-            ue_context.frontend.send_downlink_nas(
-                ue_context.ue_ref, nas.DetachAccept(imsi=ue_context.imsi),
-                mme_ue_id=ue_context.mme_ue_id)
-        ue_context.frontend.release_context(ue_context.ue_ref,
-                                            ue_context.mme_ue_id, "detach")
-        self._drop_context(ue_context)
-        if self.directoryd is not None:
-            self.directoryd.remove(ue_context.imsi)
+        with self.context.tracer.child("mme.detach", component="mme",
+                                       node=self.context.node):
+            self.sessiond.terminate_session(ue_context.imsi, reason="detach")
+            if not message.switch_off:
+                ue_context.frontend.send_downlink_nas(
+                    ue_context.ue_ref, nas.DetachAccept(imsi=ue_context.imsi),
+                    mme_ue_id=ue_context.mme_ue_id)
+            ue_context.frontend.release_context(ue_context.ue_ref,
+                                                ue_context.mme_ue_id,
+                                                "detach")
+            self._drop_context(ue_context)
+            if self.directoryd is not None:
+                self.directoryd.remove(ue_context.imsi)
 
     def _handle_service_request(self, frontend: RanFrontend, ue_ref: Any,
                                 message: nas.ServiceRequest) -> None:
@@ -384,8 +399,13 @@ class AccessManagement:
             frontend.setup_context(ue_ref, ue_context.mme_ue_id, session,
                                    nas.ServiceAccept(imsi=imsi))
 
-        self.context.sim.spawn(proc(self.context.sim),
-                               name=f"service-req:{imsi}")
+        span = self.context.tracer.child(
+            "mme.service_request", component="mme", node=self.context.node)
+        sr_proc = self.context.sim.spawn(proc(self.context.sim),
+                                         name=f"service-req:{imsi}",
+                                         ctx=span.context)
+        if span.recording:
+            span.end_on(sr_proc)
 
     def handle_ue_idle(self, imsi: str) -> None:
         """eNodeB reported the UE inactive: ECM-IDLE.  The session stays;
@@ -411,7 +431,12 @@ class AccessManagement:
         pager = getattr(ue_context.frontend, "page", None)
         if pager is None:
             return False
-        pager(record.location, imsi)
+        span = self.context.tracer.begin("paging", component="mme",
+                                         node=self.context.node,
+                                         tags={"imsi": imsi})
+        with span.active():
+            pager(record.location, imsi)
+        span.end()
         return True
 
     # -- generic procedure helpers (used by the 5G NGAP frontend) ----------------------

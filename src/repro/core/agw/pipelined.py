@@ -135,6 +135,11 @@ class Pipelined:
         """
         if imsi in self._sessions:
             self.remove_session(imsi)
+        # No tags dict here: this is the session hot path, the span must
+        # stay allocation-light.
+        span = self.context.tracer.child("pipelined.install_session",
+                                         component="pipelined",
+                                         node=self.context.node)
         egress = egress_port or self.sgi_port
         if egress not in (self.sgi_port, self.gtpa_port):
             raise ValueError(f"unknown egress port {egress!r}")
@@ -178,6 +183,7 @@ class Pipelined:
         # Table 2 downlink rule is installed once the eNB tunnel is known.
         self._sessions[imsi] = flows
         self.stats["sessions_installed"] += 1
+        span.end()
         return flows
 
     def set_enb_tunnel(self, imsi: str, enb_teid: int, enb_node: str) -> None:
@@ -207,12 +213,16 @@ class Pipelined:
         flows = self._sessions.pop(imsi, None)
         if flows is None:
             return False
+        span = self.context.tracer.child("pipelined.remove_session",
+                                         component="pipelined",
+                                         node=self.context.node)
         for table_id in (TABLE_CLASSIFY, TABLE_POLICY, TABLE_EGRESS):
             self._apply(FlowMod(command=FlowMod.DELETE_BY_COOKIE,
                                 table_id=table_id, cookie=imsi))
         self._apply(MeterMod(command=MeterMod.DELETE,
                              meter_id=flows.meter_id))
         self.stats["sessions_removed"] += 1
+        span.end()
         return True
 
     def set_session_rate(self, imsi: str, rate_mbps: float) -> None:

@@ -146,6 +146,19 @@ class Sessiond:
 
     def create_session(self, imsi: str):
         """Generator: establish a session; raises SessionError on failure."""
+        span = self.context.tracer.child("sessiond.create_session",
+                                         component="sessiond",
+                                         node=self.context.node)
+        status = "error"
+        try:
+            with span.active():
+                record = yield from self._create_session(imsi)
+            status = "ok"
+            return record
+        finally:
+            span.end(status)
+
+    def _create_session(self, imsi: str):
         sim = self.context.sim
         profile = self.subscriberdb.get(imsi)
         if profile is None:
@@ -210,19 +223,23 @@ class Sessiond:
             return False
         record.state = SessionState.TERMINATED
         sim = self.context.sim
-        enforcement = record.enforcement
-        if (enforcement is not None and self.ocs_client is not None
-                and enforcement.quota_grant_id is not None):
-            self._spawn_usage_report(record, final=True)
-        self.accounting.append(ChargingDataRecord(
-            imsi=imsi, agw_id=self.context.node,
-            session_id=record.session_id, start_time=record.start_time,
-            end_time=sim.now, bytes_dl=record.bytes_dl,
-            bytes_ul=record.bytes_ul, policy_id=record.policy_id))
-        self.pipelined.remove_session(imsi)
-        self.mobilityd.release(imsi)
-        self._teids.release(record.agw_teid)
-        self.stats["terminated"] += 1
+        with self.context.tracer.child("sessiond.terminate_session",
+                                       component="sessiond",
+                                       node=self.context.node,
+                                       tags={"reason": reason}):
+            enforcement = record.enforcement
+            if (enforcement is not None and self.ocs_client is not None
+                    and enforcement.quota_grant_id is not None):
+                self._spawn_usage_report(record, final=True)
+            self.accounting.append(ChargingDataRecord(
+                imsi=imsi, agw_id=self.context.node,
+                session_id=record.session_id, start_time=record.start_time,
+                end_time=sim.now, bytes_dl=record.bytes_dl,
+                bytes_ul=record.bytes_ul, policy_id=record.policy_id))
+            self.pipelined.remove_session(imsi)
+            self.mobilityd.release(imsi)
+            self._teids.release(record.agw_teid)
+            self.stats["terminated"] += 1
         return True
 
     def _release(self, record: SessionRecord) -> None:
@@ -380,6 +397,9 @@ class Sessiond:
 
     def checkpoint(self) -> List[Dict[str, Any]]:
         """Serializable snapshot of all session runtime state."""
+        span = self.context.tracer.begin("sessiond.checkpoint",
+                                         component="sessiond",
+                                         node=self.context.node)
         snapshot = []
         for record in self._sessions.values():
             enforcement = record.enforcement
@@ -406,6 +426,7 @@ class Sessiond:
                 "quota_grant_id": enforcement.quota_grant_id,
                 "last_grant_size": enforcement._last_grant_size,
             })
+        span.set_tag("sessions", len(snapshot)).end()
         return snapshot
 
     def restore(self, snapshot: List[Dict[str, Any]]) -> int:
@@ -419,7 +440,10 @@ class Sessiond:
         mobilityd is rebuilt with a single bulk call after the loop.
         """
         restored = 0
-        with self.pipelined.batch():
+        span = self.context.tracer.begin("sessiond.restore",
+                                         component="sessiond",
+                                         node=self.context.node)
+        with span.active(), self.pipelined.batch():
             for entry in snapshot:
                 imsi = entry["imsi"]
                 policy = self.policydb.get(entry["policy_id"])
@@ -459,4 +483,5 @@ class Sessiond:
                 restored += 1
         self.mobilityd.restore({r.imsi: r.ue_ip
                                 for r in self._sessions.values()})
+        span.set_tag("sessions", restored).end()
         return restored

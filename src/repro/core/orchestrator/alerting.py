@@ -28,6 +28,35 @@ class AlertRule:
     message: str = ""
 
 
+def metric_threshold_rule(metricsd, *, name: str, metric: str,
+                          threshold: float, above: bool = True,
+                          label: str = "gateway_id",
+                          message: str = "") -> AlertRule:
+    """An :class:`AlertRule` over ingested metricsd series.
+
+    Fires per label value (one subject per gateway, by default) whenever
+    the latest sample of ``metric`` crosses ``threshold`` — strictly above
+    when ``above`` is True, strictly below otherwise.  Label sets without
+    ``label`` fall back to a stringified label dict as the subject.
+    """
+
+    def evaluate() -> List[str]:
+        subjects = []
+        for labels in metricsd.label_sets(metric):
+            sample = metricsd.latest(metric, labels or None)
+            if sample is None:
+                continue
+            if (sample.value > threshold) if above else \
+                    (sample.value < threshold):
+                subjects.append(labels.get(label, str(labels)))
+        return sorted(subjects)
+
+    comparison = ">" if above else "<"
+    return AlertRule(name=name, evaluate=evaluate,
+                     message=message or
+                     f"{metric} {comparison} {threshold:g}")
+
+
 class AlertManager:
     """Evaluates rules; deduplicates active alerts until they resolve."""
 

@@ -34,10 +34,20 @@ class Metricsd:
         self.retention = retention
         self.max_samples = max_samples_per_series
         self._series: Dict[Tuple[str, Labels], Deque[Sample]] = {}
+        # High-water ingest time: back-filled samples (headless gaps) carry
+        # capture times older than "now", so retention is judged against the
+        # newest time ever seen, not against each sample's own time.
+        self._now = 0.0
         self.stats = {"ingested": 0, "dropped_old": 0}
 
     def ingest(self, name: str, value: float, time: float,
                labels: Optional[Dict[str, str]] = None) -> None:
+        if time > self._now:
+            self._now = time
+        elif self._now - time > self.retention:
+            # Too old to matter by the time it arrived (late back-fill).
+            self.stats["dropped_old"] += 1
+            return
         key = (name, _freeze(labels))
         series = self._series.get(key)
         if series is None:
@@ -45,7 +55,7 @@ class Metricsd:
             self._series[key] = series
         series.append(Sample(time=time, value=value))
         self.stats["ingested"] += 1
-        self._evict(series, time)
+        self._evict(series, self._now)
 
     def ingest_bundle(self, metrics: Dict[str, float], time: float,
                       labels: Optional[Dict[str, str]] = None) -> None:

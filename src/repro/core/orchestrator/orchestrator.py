@@ -21,7 +21,7 @@ from ...sim.kernel import Simulator
 from ...sim.monitor import Monitor
 from ..agw.subscriberdb import SubscriberProfile
 from ..policy.rules import PolicyRule
-from .alerting import AlertManager, AlertRule
+from .alerting import AlertManager, AlertRule, metric_threshold_rule
 from .bootstrapper import Bootstrapper, BootstrapError
 from .config_store import ConfigStore
 from .metricsd import Metricsd
@@ -77,6 +77,10 @@ class Orchestrator:
             name="gateway-unhealthy",
             evaluate=self._unhealthy_gateways,
             message="gateway self-reports failing health checks"))
+        self.alerts.add_rule(metric_threshold_rule(
+            self.metricsd, name="attach-rejections",
+            metric="attach_rejected", threshold=0.0, above=True,
+            message="gateway has rejected attach attempts"))
         self.server = RpcServer(sim, network, node)
         self.server.register("statesync", "checkin", self._checkin_handler)
         self.server.register("bootstrap", "challenge", self._challenge_handler)
@@ -86,8 +90,12 @@ class Orchestrator:
 
     def _checkin_handler(self, request: Dict[str, Any]):
         cost = self.config.checkin_cpu_cost
-        metrics = request.get("metrics") or {}
-        cost += len(metrics) * self.config.metrics_cpu_cost_per_sample
+        backlog = request.get("metrics_backlog")
+        if backlog is not None:
+            samples = sum(len(entry.get("metrics", {})) for entry in backlog)
+        else:
+            samples = len(request.get("metrics") or {})
+        cost += samples * self.config.metrics_cpu_cost_per_sample
         response = self.statesync.handle_checkin(request)
         if response.get("config") is not None:
             cost += self.config.config_push_cpu_cost

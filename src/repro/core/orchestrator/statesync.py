@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ...obs.tracing import tracer_of
 from ...sim.kernel import Simulator
 from .config_store import ConfigStore
 from .metricsd import Metricsd
@@ -42,6 +43,9 @@ class GatewayState:
     checkins: int = 0
     status: Dict[str, Any] = field(default_factory=dict)
     network_id: str = DEFAULT_NETWORK
+    # Highest metrics-backlog seq ingested from this gateway; the ack that
+    # makes headless back-fill duplicate-free.
+    last_metrics_seq: int = 0
 
 
 class StateSync:
@@ -77,11 +81,32 @@ class StateSync:
         state.status = request.get("status", {})
         state.network_id = request.get("network_id", DEFAULT_NETWORK)
         self.stats["checkins"] += 1
-        metrics = request.get("metrics")
-        if metrics and self.metricsd is not None:
-            self.metricsd.ingest_bundle(metrics, now,
-                                        labels={"gateway": gateway_id})
+        span = tracer_of(self.sim).child("statesync.checkin",
+                                         component="statesync",
+                                         tags={"gateway_id": gateway_id})
         response: Dict[str, Any] = {"config_version": self.store.version}
+        backlog = request.get("metrics_backlog")
+        if backlog is not None:
+            # Seq-acked back-fill: samples buffered during a headless gap
+            # are ingested at their *capture* time; anything at or below the
+            # last acked seq is a redelivery and is skipped.  The ack moves
+            # even with no metricsd attached so the gateway's buffer drains.
+            for entry in backlog:
+                seq = entry["seq"]
+                if seq <= state.last_metrics_seq:
+                    continue
+                if self.metricsd is not None:
+                    self.metricsd.ingest_bundle(
+                        entry["metrics"], entry["time"],
+                        labels={"gateway_id": gateway_id})
+                state.last_metrics_seq = seq
+            response["metrics_ack"] = state.last_metrics_seq
+        else:
+            # Legacy single-bundle path (direct callers/tests).
+            metrics = request.get("metrics")
+            if metrics and self.metricsd is not None:
+                self.metricsd.ingest_bundle(metrics, now,
+                                            labels={"gateway_id": gateway_id})
         # Push only when *this gateway's network* changed since the version
         # it applied - version bumps from other tenants' namespaces leave
         # its desired state identical, so no bundle (full-state semantics
@@ -91,6 +116,7 @@ class StateSync:
             self.stats["config_pushes"] += 1
         else:
             response["config"] = None
+        span.end()
         return response
 
     # -- bundle construction ----------------------------------------------------------

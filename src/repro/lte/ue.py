@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..net.rpc import RpcError
+from ..obs.tracing import tracer_of
 from ..sim.kernel import Event, Simulator
 from . import auth, nas
 from .radio import CellCapacityError
@@ -99,8 +100,13 @@ class Ue:
         self.state = UeState.ATTACHING
         self._attach_started_at = self.sim.now
         self._attach_done = self.sim.event(f"ue.{self.imsi}.attach_inner")
+        span = tracer_of(self.sim).begin("attach", component="ue",
+                                         tags={"imsi": self.imsi})
+        if span.recording:
+            result.add_callback(lambda ev: span.end(
+                "ok" if ev.ok and ev.value.success else "error"))
         self.sim.spawn(self._attach_procedure(result),
-                       name=f"attach:{self.imsi}")
+                       name=f"attach:{self.imsi}", ctx=span.context)
         return result
 
     def detach(self, switch_off: bool = True) -> Event:
@@ -115,22 +121,28 @@ class Ue:
         if self.state != UeState.REGISTERED:
             done.succeed(False)
             return done
-        self._send_nas(nas.DetachRequest(imsi=self.imsi,
-                                         switch_off=switch_off))
-        if switch_off:
-            self._clear_session()
-            self.state = UeState.DEREGISTERED
-            done.succeed(True)
-            return done
-        self._detach_done = done
+        span = tracer_of(self.sim).begin("detach", component="ue",
+                                         tags={"imsi": self.imsi,
+                                               "switch_off": switch_off})
+        if span.recording:
+            span.end_on(done)
+        with span.active():
+            self._send_nas(nas.DetachRequest(imsi=self.imsi,
+                                             switch_off=switch_off))
+            if switch_off:
+                self._clear_session()
+                self.state = UeState.DEREGISTERED
+                done.succeed(True)
+                return done
+            self._detach_done = done
 
-        def guard(sim):
-            yield sim.timeout(5.0)
-            if not done.triggered:
-                # Never heard back: detach locally anyway (3GPP behaviour).
-                self._finish_detach()
+            def guard(sim):
+                yield sim.timeout(5.0)
+                if not done.triggered:
+                    # Never heard back: detach locally anyway (3GPP behaviour).
+                    self._finish_detach()
 
-        self.sim.spawn(guard(self.sim), name=f"detach-guard:{self.imsi}")
+            self.sim.spawn(guard(self.sim), name=f"detach-guard:{self.imsi}")
         return done
 
     def _finish_detach(self) -> None:
@@ -154,8 +166,10 @@ class Ue:
         and can be paged."""
         if self.state != UeState.REGISTERED:
             return
-        self.enb.release_to_idle(self)
-        self.state = UeState.IDLE
+        with tracer_of(self.sim).begin("go_idle", component="ue",
+                                       tags={"imsi": self.imsi}):
+            self.enb.release_to_idle(self)
+            self.state = UeState.IDLE
 
     def service_request(self) -> Event:
         """Return from idle to connected (UE-originated data, or paging).
@@ -167,6 +181,14 @@ class Ue:
         if self.state != UeState.IDLE:
             result.succeed(False)
             return result
+        # ``begin``: a paging-triggered SR nests under the paging trace
+        # (on_paged runs with the paging span ambient); a UE-originated SR
+        # starts a fresh trace.
+        span = tracer_of(self.sim).begin("service_request", component="ue",
+                                         tags={"imsi": self.imsi})
+        if span.recording:
+            result.add_callback(lambda ev: span.end(
+                "ok" if ev.ok and ev.value else "error"))
 
         def proc(sim):
             try:
@@ -189,7 +211,8 @@ class Ue:
                 self.state = UeState.IDLE
                 result.succeed(False)
 
-        self.sim.spawn(proc(self.sim), name=f"service-req:{self.imsi}")
+        self.sim.spawn(proc(self.sim), name=f"service-req:{self.imsi}",
+                       ctx=span.context)
         return result
 
     def on_paged(self) -> None:
@@ -213,9 +236,15 @@ class Ue:
         if source_context is None or source_context.mme_ue_id is None:
             result.succeed(False)
             return result
+        span = tracer_of(self.sim).begin("handover", component="ue",
+                                         tags={"imsi": self.imsi})
+        if span.recording:
+            result.add_callback(lambda ev: span.end(
+                "ok" if ev.ok and ev.value else "error"))
         try:
-            ack_event = target_enb.handover_in(self,
-                                               source_context.mme_ue_id)
+            with span.active():
+                ack_event = target_enb.handover_in(self,
+                                                   source_context.mme_ue_id)
         except CellCapacityError:  # target cell full or its S1 is down
             result.succeed(False)
             return result
@@ -238,7 +267,8 @@ class Ue:
                 target_enb.rrc_release(self)
                 result.succeed(False)
 
-        self.sim.spawn(proc(self.sim), name=f"handover:{self.imsi}")
+        self.sim.spawn(proc(self.sim), name=f"handover:{self.imsi}",
+                       ctx=span.context)
         return result
 
     def notify_session_error(self, cause: str = "") -> None:

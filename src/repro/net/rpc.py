@@ -81,7 +81,8 @@ class RpcServer:
     # -- internals ---------------------------------------------------------------
 
     def _handle(self, dgram: Datagram) -> None:
-        request_id, service, method, payload, reply_node, reply_port = dgram.payload
+        request_id, service, method, payload, reply_node, reply_port, ctx = \
+            dgram.payload
         cached = self._response_cache.get(request_id)
         if cached is not None:
             self.stats["duplicates"] += 1
@@ -97,21 +98,45 @@ class RpcServer:
             return
         self.stats["requests"] += 1
         self._in_flight.add(request_id)
+        # Restore the caller's trace context for the duration of dispatch so
+        # server-side spans (and any processes the handler spawns) nest under
+        # the client's rpc span.
+        sim = self.sim
+        prev_ctx, sim.ctx = sim.ctx, ctx
+        tracer = sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.child(f"{service}/{method}", component=service,
+                                node=self.node)
+            if span.recording:
+                sim.ctx = span.context
         try:
-            result = handler(payload)
-        except RpcError as exc:
-            self._finish(reply_node, reply_port, request_id, "error", exc)
-            return
-        except Exception as exc:  # noqa: BLE001 - surfaced as INTERNAL
-            self._finish(reply_node, reply_port, request_id, "error",
-                         RpcError(RpcError.INTERNAL, repr(exc)))
-            return
-        if _is_generator(result):
-            proc = self.sim.spawn(result, name=f"rpc:{service}/{method}")
-            proc.add_callback(
-                lambda ev: self._on_process_done(ev, reply_node, reply_port, request_id))
-        else:
-            self._finish(reply_node, reply_port, request_id, "ok", result)
+            try:
+                result = handler(payload)
+            except RpcError as exc:
+                if span is not None:
+                    span.end("error")
+                self._finish(reply_node, reply_port, request_id, "error", exc)
+                return
+            except Exception as exc:  # noqa: BLE001 - surfaced as INTERNAL
+                if span is not None:
+                    span.end("error")
+                self._finish(reply_node, reply_port, request_id, "error",
+                             RpcError(RpcError.INTERNAL, repr(exc)))
+                return
+            if _is_generator(result):
+                proc = self.sim.spawn(result, name=f"rpc:{service}/{method}")
+                if span is not None and span.recording:
+                    span.end_on(proc)
+                proc.add_callback(
+                    lambda ev: self._on_process_done(ev, reply_node, reply_port,
+                                                     request_id))
+            else:
+                if span is not None:
+                    span.end()
+                self._finish(reply_node, reply_port, request_id, "ok", result)
+        finally:
+            sim.ctx = prev_ctx
 
     def _on_process_done(self, ev, reply_node: str, reply_port: int,
                          request_id: Any) -> None:
@@ -171,7 +196,16 @@ class RpcChannel:
         done = self.sim.event(f"rpc:{service}/{method}")
         self._pending[request_id] = done
         expiry = self.sim.now + deadline
-        payload = (request_id, service, method, request, self.local, self.port)
+        tracer = self.sim.tracer
+        ctx = self.sim.ctx
+        if tracer is not None:
+            span = tracer.child(f"rpc:{service}/{method}", component="rpc",
+                                node=self.local, tags={"peer": self.peer})
+            if span.recording:
+                span.end_on(done)
+                ctx = span.context
+        payload = (request_id, service, method, request, self.local, self.port,
+                   ctx)
         self._attempt(request_id, payload, expiry, first=True)
         self.sim.schedule(deadline, self._expire, request_id)
         return done

@@ -1,0 +1,65 @@
+"""CLI: run a traced attach storm, export Chrome trace JSON, summarize.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs [trace.json] [--ues N] [--rate R]
+                                       [--seed S] [--sample-rate F]
+
+The JSON output loads in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .analysis import (
+    aggregate_breakdown,
+    build_traces,
+    format_summary,
+    procedure_summary,
+)
+from .export import write_chrome_trace
+from .scenario import run_traced_attach_storm
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Traced attach storm + Chrome trace export")
+    parser.add_argument("output", nargs="?", default="trace.json",
+                        help="Chrome trace JSON output path")
+    parser.add_argument("--ues", type=int, default=20)
+    parser.add_argument("--rate", type=float, default=5.0,
+                        help="attach rate (UE/s)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sample-rate", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    run = run_traced_attach_storm(num_ues=args.ues, rate=args.rate,
+                                  seed=args.seed,
+                                  sample_rate=args.sample_rate)
+    tracer = run.tracer
+    print(f"attach storm: {run.attach_successes}/{args.ues} attached, "
+          f"{tracer.stats['traces_sampled']}/{tracer.stats['traces_started']}"
+          f" traces sampled, {tracer.stats['spans']} spans")
+    events = write_chrome_trace(args.output, tracer.spans)
+    print(f"wrote {events} trace events to {args.output} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+
+    traces = [t for t in build_traces(tracer.spans) if t.complete]
+    summary = procedure_summary(traces)
+    print("\nper-procedure latency:")
+    print(format_summary(summary))
+
+    attach_traces = [t for t in traces if t.name == "attach"]
+    if attach_traces:
+        fractions = aggregate_breakdown(traces, "attach")
+        print("\nattach critical path (mean self-time share by component):")
+        for component, fraction in sorted(fractions.items(),
+                                          key=lambda kv: -kv[1]):
+            print(f"  {fraction * 100:5.1f}%  {component}")
+        slowest = max(attach_traces, key=lambda t: t.duration)
+        print("\nslowest attach:")
+        print(slowest.format())
+    return 0

@@ -1,0 +1,61 @@
+"""Chrome trace-event JSON export.
+
+Produces the trace-event format consumed by ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev): open either, load the exported file,
+and every simulated procedure renders as a nested flame of spans.
+
+Mapping: each simulation *node* (AGW, eNodeB, orchestrator, UE...) becomes
+a "process" row, each *trace* a "thread" within it, and each finished span
+a complete ("X") event with microsecond virtual-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .tracing import Span
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from finished spans."""
+    spans = [s for s in spans if s.finished]
+    pids: Dict[str, int] = {}
+    tids: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        row = span.node or span.component or "sim"
+        pid = pids.setdefault(row, len(pids) + 1)
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        args: Dict[str, Any] = {
+            "trace_id": f"{span.trace_id:x}",
+            "span_id": f"{span.span_id:x}",
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = f"{span.parent_id:x}"
+        for key, value in span.tags.items():
+            args[str(key)] = value if isinstance(
+                value, (int, float, bool)) else str(value)
+        events.append({
+            "name": span.name,
+            "cat": span.component or "span",
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    metadata = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                 "args": {"name": row}} for row, pid in pids.items()]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    document = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])

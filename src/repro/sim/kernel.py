@@ -200,12 +200,17 @@ class Process(Event):
     wait on each other by yielding the process object.
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "ctx")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 ctx: Any = None):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
+        # Trace context pinned to this process: the ambient context at spawn
+        # time (or an explicit override), restored around every generator
+        # resume so causality survives arbitrary interleavings.
+        self.ctx = sim.ctx if ctx is None else ctx
         sim.schedule(0.0, self._resume, None)
 
     @property
@@ -246,28 +251,36 @@ class Process(Event):
 
     def _step(self, advance: Callable[[], Any]) -> None:
         self._waiting_on = None
+        sim = self.sim
+        prev, sim.ctx = sim.ctx, self.ctx
         try:
-            target = advance()
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupted as exc:
-            # An un-caught interrupt terminates the process "successfully
-            # failed": surface it as a failure so waiters notice.
-            self.fail(exc)
-            return
-        except BaseException as exc:  # process boundary: any error in user
-            self.fail(exc)            # code must fail the process event
-            return
-        if not isinstance(target, Event):
-            self.sim.schedule(
-                0.0,
-                self._resume_error,
-                SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
-            )
-            return
-        self._waiting_on = target
-        target.add_callback(self._on_wait_done)
+            try:
+                target = advance()
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupted as exc:
+                # An un-caught interrupt terminates the process "successfully
+                # failed": surface it as a failure so waiters notice.
+                self.fail(exc)
+                return
+            except BaseException as exc:  # process boundary: any error in user
+                self.fail(exc)            # code must fail the process event
+                return
+            if not isinstance(target, Event):
+                sim.schedule(
+                    0.0,
+                    self._resume_error,
+                    SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
+                )
+                return
+            self._waiting_on = target
+            target.add_callback(self._on_wait_done)
+        finally:
+            # The generator may have activated a different span mid-resume;
+            # re-pin it so the next resume sees it, then restore the caller's.
+            self.ctx = sim.ctx
+            sim.ctx = prev
 
     def _on_wait_done(self, ev: Event) -> None:
         if self._triggered or self._waiting_on is not ev:
@@ -289,6 +302,14 @@ class Simulator:
         self._queue: List = []
         self._counter = itertools.count()
         self._running = False
+        # Ambient trace context (an ``obs.tracing.SpanContext`` or None).
+        # Captured by schedule() and pinned on spawned processes, so trace
+        # context follows the causal chain of callbacks and resumes without
+        # any explicit plumbing.  None whenever tracing is off.
+        self.ctx: Any = None
+        # The installed ``obs.tracing.Tracer`` (or None).  Components read
+        # this at call time; assigning it retroactively enables tracing.
+        self.tracer: Any = None
 
     @property
     def now(self) -> float:
@@ -301,7 +322,11 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), fn, args))
+        # The ambient trace context rides along; ordering still compares only
+        # (when, seq), so tracing never perturbs event order.
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._counter), fn, args,
+                        self.ctx))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
@@ -321,9 +346,14 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def spawn(self, generator: Generator, name: str = "") -> Process:
-        """Start a new process from a generator."""
-        return Process(self, generator, name)
+    def spawn(self, generator: Generator, name: str = "",
+              ctx: Any = None) -> Process:
+        """Start a new process from a generator.
+
+        ``ctx`` pins a trace context on the process; by default the ambient
+        context at spawn time is inherited.
+        """
+        return Process(self, generator, name, ctx=ctx)
 
     # -- execution ---------------------------------------------------------
 
@@ -331,9 +361,13 @@ class Simulator:
         """Execute the next scheduled callback.  Returns False if idle."""
         if not self._queue:
             return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
+        when, _seq, fn, args, ctx = heapq.heappop(self._queue)
         self._now = when
-        fn(*args)
+        prev, self.ctx = self.ctx, ctx
+        try:
+            fn(*args)
+        finally:
+            self.ctx = prev
         return True
 
     def run(self, until: Optional[float] = None) -> float:

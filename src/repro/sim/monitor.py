@@ -24,6 +24,13 @@ class Series:
         self.values: List[float] = []
 
     def record(self, t: float, value: float) -> None:
+        """Append a sample at time ``t``.
+
+        Times must be non-decreasing; *equal* timestamps are explicitly
+        allowed (several events in the same simulation tick record at the
+        same ``sim.now``) and preserve insertion order.  Only a strictly
+        backwards ``t`` raises.
+        """
         if self.times and t < self.times[-1]:
             raise ValueError(f"series {self.name!r}: time went backwards ({t} < {self.times[-1]})")
         self.times.append(t)
@@ -52,6 +59,15 @@ class Series:
         if not self.values:
             raise ValueError(f"series {self.name!r} is empty")
         return self.values[-1]
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the values, q in [0, 100]."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return percentile(self.values, q)
+
+    def median(self) -> float:
+        return self.percentile(50.0)
 
     def between(self, t0: float, t1: float) -> "Series":
         """Sub-series with t0 <= time < t1."""
@@ -134,6 +150,13 @@ class Monitor:
 
     def record(self, name: str, t: float, value: float) -> None:
         self.series(name).record(t, value)
+
+    def percentile(self, name: str, q: float) -> float:
+        """Percentile over a named series' values (raises if empty)."""
+        return self.series(name).percentile(q)
+
+    def median(self, name: str) -> float:
+        return self.percentile(name, 50.0)
 
     def count(self, name: str, amount: float = 1.0) -> None:
         self._counters[name] = self._counters.get(name, 0.0) + amount

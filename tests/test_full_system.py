@@ -144,4 +144,4 @@ def test_day_in_the_life():
     # The orchestrator saw the whole day through metrics and check-ins.
     assert orc.statesync.gateway("agw-1").checkins > 5
     assert orc.metricsd.latest("attach_accepted",
-                               {"gateway": "agw-1"}).value >= 6
+                               {"gateway_id": "agw-1"}).value >= 6

@@ -140,7 +140,7 @@ def test_metrics_flow_to_orchestrator():
     done = ues[0].attach()
     sim.run_until_triggered(done, limit=60.0)
     sim.run(until=sim.now + 10.0)
-    samples = orc.query_metric("attach_accepted", {"gateway": "agw-1"})
+    samples = orc.query_metric("attach_accepted", {"gateway_id": "agw-1"})
     assert samples
     assert samples[-1].value == 1.0
 

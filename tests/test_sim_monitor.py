@@ -22,6 +22,16 @@ def test_series_rejects_time_regression():
         s.record(4.0, 1.0)
 
 
+def test_series_allows_same_tick_appends():
+    """Several samples at one sim instant are legal (batched completions);
+    insertion order is preserved."""
+    s = Series("x")
+    s.record(1.0, 1.0)
+    s.record(1.0, 2.0)
+    s.record(1.0, 3.0)
+    assert list(s) == [(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)]
+
+
 def test_series_stats():
     s = Series("x")
     for t, v in enumerate([1.0, 3.0, 5.0]):
@@ -103,6 +113,32 @@ def test_percentile_validation():
         percentile([], 50)
     with pytest.raises(ValueError):
         percentile([1.0], 101)
+
+
+def test_series_percentile_and_median():
+    s = Series("latency")
+    for t, v in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+        s.record(float(t), v)
+    assert s.percentile(50) == 3.0
+    assert s.percentile(0) == 1.0
+    assert s.percentile(100) == 5.0
+    assert s.median() == 3.0
+
+
+def test_series_percentile_empty_raises():
+    s = Series("x")
+    with pytest.raises(ValueError):
+        s.percentile(50)
+    with pytest.raises(ValueError):
+        s.median()
+
+
+def test_monitor_percentile_and_median():
+    m = Monitor()
+    for t, v in enumerate([10.0, 30.0, 20.0]):
+        m.record("latency", float(t), v)
+    assert m.percentile("latency", 50) == 20.0
+    assert m.median("latency") == 20.0
 
 
 def test_monitor_series_and_counters():

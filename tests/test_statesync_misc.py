@@ -76,7 +76,7 @@ def test_bundle_cache_reused_until_version_changes():
 def test_checkin_metrics_land_in_metricsd():
     sim, store, sync = make_statesync()
     checkin(sync, "agw-1", metrics={"sessions_active": 7.0})
-    sample = sync.metricsd.latest("sessions_active", {"gateway": "agw-1"})
+    sample = sync.metricsd.latest("sessions_active", {"gateway_id": "agw-1"})
     assert sample.value == 7.0
 
 
