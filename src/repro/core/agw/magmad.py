@@ -17,9 +17,10 @@ Three responsibilities, straight from §3.2-3.4 of the paper:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from ...net.rpc import RpcChannel, RpcError
+from ...sim.kernel import Interrupted, Process
 from .context import AgwContext
 
 
@@ -59,6 +60,7 @@ class Magmad:
                                            context.node, orchestrator_node)
         self.config_version = 0
         self.running = False
+        self._procs: List[Process] = []
         # Best-effort telemetry (§3.4): every check-in snapshots the
         # gateway's metrics into a seq-numbered buffer; the orchestrator
         # acks the highest seq it ingested.  During headless gaps the
@@ -76,13 +78,23 @@ class Magmad:
             return
         self.running = True
         sim = self.context.sim
+        self._procs = []
         if self.checkpoint_store is not None:
-            sim.spawn(self._checkpoint_loop(), name=f"ckpt:{self.context.node}")
+            self._procs.append(sim.spawn(self._checkpoint_loop(),
+                                         name=f"ckpt:{self.context.node}"))
         if self._orc_channel is not None:
-            sim.spawn(self._checkin_loop(), name=f"checkin:{self.context.node}")
+            self._procs.append(sim.spawn(self._checkin_loop(),
+                                         name=f"checkin:{self.context.node}"))
 
     def stop(self) -> None:
+        """Stop supervisor loops *now*: interrupting them at their current
+        sleep keeps a crashed AGW from holding interval timers in the
+        scheduler until their next tick."""
         self.running = False
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.alive:
+                proc.interrupt("magmad stopped")
 
     # -- checkpointing -------------------------------------------------------------
 
@@ -102,11 +114,14 @@ class Magmad:
 
     def _checkpoint_loop(self):
         interval = self.context.config.checkpoint_interval
-        while self.running:
-            yield self.context.sim.timeout(interval)
-            if not self.running:
-                return
-            self.checkpoint_now()
+        try:
+            while self.running:
+                yield self.context.sim.timeout(interval)
+                if not self.running:
+                    return
+                self.checkpoint_now()
+        except Interrupted:
+            return
 
     # -- check-in / config sync --------------------------------------------------------
 
@@ -165,11 +180,14 @@ class Magmad:
 
     def _checkin_loop(self):
         interval = self.context.config.checkin_interval
-        while self.running:
-            yield self.context.sim.timeout(interval)
-            if not self.running:
-                return
-            yield from self.checkin_once()
+        try:
+            while self.running:
+                yield self.context.sim.timeout(interval)
+                if not self.running:
+                    return
+                yield from self.checkin_once()
+        except Interrupted:
+            return
 
     def apply_config(self, bundle: Dict[str, Any], version: int) -> None:
         """Apply a full desired-state configuration bundle."""

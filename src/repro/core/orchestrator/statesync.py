@@ -187,6 +187,11 @@ class StateSync:
                       if now - g.last_checkin > max_age)
 
     def stale_gateways(self) -> List[str]:
-        """Gateways whose applied config lags the store version."""
+        """Gateways whose applied config lags *their own network's* desired
+        state.  Comparing against the global ``store.version`` would report
+        every other tenant's gateways stale forever after any one tenant's
+        write — the same per-network scoping ``handle_checkin`` uses to
+        elide no-op pushes."""
         return sorted(g.gateway_id for g in self._gateways.values()
-                      if g.config_version < self.store.version)
+                      if g.config_version <
+                      self.network_config_version(g.network_id))

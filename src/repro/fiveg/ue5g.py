@@ -169,11 +169,16 @@ class Ue5g:
                 return
         inner = self._procedure_done
         self._send_nas(initial_message)
-        guard = self.sim.timeout(self.guard_timer)
+        # Cancelable guard: revoked when the race resolves instead of rotting
+        # in the scheduler for the full guard window.
+        guard = self.sim.event("guard")
+        guard_timer = self.sim.schedule(self.guard_timer, guard.succeed)
         try:
             race = yield self.sim.any_of([inner, guard])
         except Exception:  # any failed procedure event means the attempt failed
             race = {}
+        finally:
+            guard_timer.cancel()
         ok = inner in race and inner.value is True
         if ok:
             self.state = success_state

@@ -198,8 +198,15 @@ class Ue:
                 return
             self._sr_done = self.sim.event("sr-inner")
             self._send_nas(nas.ServiceRequest(imsi=self.imsi))
-            guard = self.sim.timeout(10.0)
-            race = yield self.sim.any_of([self._sr_done, guard])
+            # Cancelable guard: when the SR wins the race, the guard timer
+            # is revoked instead of rotting in the scheduler for its full
+            # window (with thousands of UEs those corpses dominate the heap).
+            guard = self.sim.event("sr-guard")
+            guard_timer = self.sim.schedule(10.0, guard.succeed)
+            try:
+                race = yield self.sim.any_of([self._sr_done, guard])
+            finally:
+                guard_timer.cancel()
             if self._sr_done in race:
                 self.state = UeState.REGISTERED
                 if self.offered_mbps > 0:
@@ -324,7 +331,10 @@ class Ue:
             result.succeed(AttachOutcome(False, 0.0, str(exc)))
             return
         self._send_nas(nas.AttachRequest(imsi=self.imsi))
-        guard = self.sim.timeout(self.config.attach_guard_timer)
+        # Cancelable guard (see service_request): revoked on any exit path.
+        guard = self.sim.event("attach-guard")
+        guard_timer = self.sim.schedule(self.config.attach_guard_timer,
+                                        guard.succeed)
         try:
             race = yield self.sim.any_of([self._attach_done, guard])
         except Exception as exc:  # reject / auth failure / session error
@@ -334,6 +344,8 @@ class Ue:
             self.enb.rrc_release(self)
             result.succeed(AttachOutcome(False, latency, str(exc)))
             return
+        finally:
+            guard_timer.cancel()
         latency = self.sim.now - self._attach_started_at
         if self._attach_done in race:
             self.state = UeState.REGISTERED

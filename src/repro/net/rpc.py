@@ -166,8 +166,38 @@ class RpcServer:
                                    (request_id, status, value), 8_000))
 
 
+class _PendingCall:
+    """Book-keeping for one in-flight call: the completion event plus the
+    cancelable timer handles, so completion revokes the expiry/retry timers
+    instead of leaving them to rot in the scheduler until the deadline."""
+
+    __slots__ = ("event", "expire", "attempt")
+
+    def __init__(self, event: Event):
+        self.event = event
+        self.expire = None   # ScheduledCall for the deadline
+        self.attempt = None  # ScheduledCall for the next retransmission
+
+    def cancel_timers(self) -> None:
+        # release() (cancel + freelist return) is safe here: the handles
+        # live only on this record and both references die right now.
+        if self.expire is not None:
+            self.expire.release()
+            self.expire = None
+        if self.attempt is not None:
+            self.attempt.release()
+            self.attempt = None
+
+
 class RpcChannel:
-    """Client side of the RPC layer; one per (client node, server node) pair."""
+    """Client side of the RPC layer; one per (client node, server node) pair.
+
+    Calls where client and server share a node take a loopback fast path:
+    the request skips routing/loss/retransmission entirely (in-process
+    delivery cannot lose datagrams), leaving only the deadline timer — which,
+    like the retry timer on the remote path, is cancelled the moment the
+    response lands.
+    """
 
     _port_alloc = itertools.count(40_000)
     _request_ids = itertools.count(1)
@@ -182,9 +212,9 @@ class RpcChannel:
         self.peer_port = peer_port
         self.retry_interval = retry_interval
         self.port = next(RpcChannel._port_alloc)
-        self._pending: Dict[Any, Event] = {}
+        self._pending: Dict[Any, _PendingCall] = {}
         self.stats = {"calls": 0, "ok": 0, "deadline_exceeded": 0,
-                      "errors": 0, "retries": 0}
+                      "errors": 0, "retries": 0, "local_fast_path": 0}
         network.bind(local, self.port, self._handle)
 
     def call(self, service: str, method: str, request: Any,
@@ -194,7 +224,8 @@ class RpcChannel:
         self.stats["calls"] += 1
         request_id = (self.local, self.port, next(RpcChannel._request_ids))
         done = self.sim.event(f"rpc:{service}/{method}")
-        self._pending[request_id] = done
+        record = _PendingCall(done)
+        self._pending[request_id] = record
         expiry = self.sim.now + deadline
         tracer = self.sim.tracer
         ctx = self.sim.ctx
@@ -206,48 +237,66 @@ class RpcChannel:
                 ctx = span.context
         payload = (request_id, service, method, request, self.local, self.port,
                    ctx)
-        self._attempt(request_id, payload, expiry, first=True)
-        self.sim.schedule(deadline, self._expire, request_id)
+        if self.peer == self.local:
+            # Co-located fast path: lossless loopback, no retransmission
+            # chain; only the (cancelable) deadline timer is scheduled.
+            self.stats["local_fast_path"] += 1
+            self.network.send_local(
+                Datagram(self.local, self.peer, self.peer_port, payload, 8_000))
+        else:
+            self._attempt(request_id, payload, expiry, first=True)
+        record.expire = self.sim.schedule(deadline, self._expire, request_id)
         return done
 
     def close(self) -> None:
         self.network.unbind(self.local, self.port)
-        for request_id, ev in list(self._pending.items()):
-            if not ev.triggered:
-                ev.fail(RpcError(RpcError.UNAVAILABLE, "channel closed"))
+        for request_id, record in list(self._pending.items()):
+            record.cancel_timers()
+            if not record.event.triggered:
+                record.event.fail(RpcError(RpcError.UNAVAILABLE, "channel closed"))
         self._pending.clear()
+
+    def pending_calls(self) -> int:
+        return len(self._pending)
 
     # -- internals -----------------------------------------------------------------
 
     def _attempt(self, request_id: Any, payload: Any, expiry: float,
                  first: bool = False) -> None:
-        if request_id not in self._pending or self.sim.now >= expiry:
+        record = self._pending.get(request_id)
+        if record is None or self.sim.now >= expiry:
             return
         if not first:
             self.stats["retries"] += 1
         self.network.send(Datagram(self.local, self.peer, self.peer_port,
                                    payload, 8_000))
-        self.sim.schedule(self.retry_interval, self._attempt,
-                          request_id, payload, expiry)
+        record.attempt = self.sim.schedule(self.retry_interval, self._attempt,
+                                           request_id, payload, expiry)
 
     def _expire(self, request_id: Any) -> None:
-        ev = self._pending.pop(request_id, None)
-        if ev is not None and not ev.triggered:
+        record = self._pending.pop(request_id, None)
+        if record is None:
+            return
+        record.cancel_timers()
+        if not record.event.triggered:
             self.stats["deadline_exceeded"] += 1
-            ev.fail(RpcError(RpcError.DEADLINE_EXCEEDED))
+            record.event.fail(RpcError(RpcError.DEADLINE_EXCEEDED))
 
     def _handle(self, dgram: Datagram) -> None:
         request_id, status, value = dgram.payload
-        ev = self._pending.pop(request_id, None)
-        if ev is None or ev.triggered:
+        record = self._pending.pop(request_id, None)
+        if record is None:
+            return
+        record.cancel_timers()
+        if record.event.triggered:
             return
         if status == "ok":
             self.stats["ok"] += 1
-            ev.succeed(value)
+            record.event.succeed(value)
         else:
             self.stats["errors"] += 1
-            ev.fail(value if isinstance(value, RpcError)
-                    else RpcError(RpcError.INTERNAL, repr(value)))
+            record.event.fail(value if isinstance(value, RpcError)
+                              else RpcError(RpcError.INTERNAL, repr(value)))
 
 
 def _is_generator(obj: Any) -> bool:

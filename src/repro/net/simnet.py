@@ -109,9 +109,17 @@ class Network:
         return state.link if state else None
 
     def set_node_up(self, name: str, up: bool) -> None:
-        """Crash or recover a node; affects both endpoints and transit."""
+        """Crash or recover a node; affects both endpoints and transit.
+
+        Invalidates the route cache: cached paths through a newly-crashed
+        transit node would black-hole traffic between healthy endpoints that
+        still have a live alternate path, and paths computed while a node
+        was down must be recomputed once it recovers.
+        """
         if name not in self._adjacency:
             raise KeyError(f"unknown node {name!r}")
+        if self._node_up.get(name) != up:
+            self._route_cache.clear()
         self._node_up[name] = up
 
     def node_is_up(self, name: str) -> bool:
@@ -134,6 +142,9 @@ class Network:
 
     def send(self, dgram: Datagram) -> None:
         """Route and deliver ``dgram`` asynchronously (or drop it)."""
+        if dgram.src == dgram.dst:
+            self.send_local(dgram)
+            return
         self.stats["sent"] += 1
         if not self._node_up.get(dgram.src, False):
             self.stats["dropped_down"] += 1
@@ -163,7 +174,19 @@ class Network:
                 start = max(now + delay, state.busy_until)
                 state.busy_until = start + serialization
                 delay = (start + serialization) - now
-        self.sim.schedule(delay, self._deliver, dgram)
+        self.sim.call_later(delay, self._deliver, dgram)
+
+    def send_local(self, dgram: Datagram) -> None:
+        """Same-node delivery fast path: no routing, no per-hop loss/jitter
+        draws, no serialization queueing — just an asynchronous handoff to
+        the local handler.  Loopback traffic is lossless and latency-free,
+        exactly as ``send()`` treated the zero-hop path, but without paying
+        for the route-cache and RNG-stream lookups."""
+        self.stats["sent"] += 1
+        if not self._node_up.get(dgram.dst, False):
+            self.stats["dropped_down"] += 1
+            return
+        self.sim.call_later(0.0, self._deliver, dgram)
 
     def _deliver(self, dgram: Datagram) -> None:
         if not self._node_up.get(dgram.dst, False):
@@ -191,6 +214,7 @@ class Network:
             return [src]
         if src not in self._adjacency or dst not in self._adjacency:
             return None
+        node_up = self._node_up
         visited = {src}
         frontier: List[List[str]] = [[src]]
         while frontier:
@@ -199,10 +223,15 @@ class Network:
                 for neighbor in self._adjacency[path[-1]]:
                     if neighbor in visited:
                         continue
-                    new_path = path + [neighbor]
                     if neighbor == dst:
-                        return new_path
+                        return path + [neighbor]
+                    # Down nodes cannot forward: route around crashed
+                    # transit.  The endpoints themselves are checked at
+                    # send/deliver time, so a down dst still terminates the
+                    # search (and the drop is counted there).
+                    if not node_up.get(neighbor, False):
+                        continue
                     visited.add(neighbor)
-                    next_frontier.append(new_path)
+                    next_frontier.append(path + [neighbor])
             frontier = next_frontier
         return None

@@ -19,6 +19,7 @@ from .kernel import (
     Event,
     Interrupted,
     Process,
+    ScheduledCall,
     SimulationError,
     Simulator,
     Timeout,
@@ -38,6 +39,7 @@ __all__ = [
     "Process",
     "Resource",
     "RngRegistry",
+    "ScheduledCall",
     "Series",
     "Signal",
     "SimulationError",

@@ -35,9 +35,112 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+_INF = float("inf")
+
+# Timer-wheel geometry.  Delays shorter than the cutoff go straight to the
+# heap (they are about to fire anyway); longer delays park in a hashed
+# hierarchical wheel — per-level dicts of slot-index -> entry list — and only
+# migrate into the heap when the clock approaches their slot.  The payoff is
+# the dominant schedule-then-cancel pattern (RPC deadlines/retries, guard
+# timers): a cancelled entry parked in the wheel is dropped at slot flush
+# without ever touching the heap, so it costs O(1) total instead of a
+# heappush + heappop at ~100k-entry heap depth.
+_WHEEL_CUTOFF = 0.25
+_WHEEL_WIDTHS = (0.25, 4.0, 64.0, 1024.0)
+_POOL_MAX = 16384
+
 
 class SimulationError(Exception):
     """Base class for kernel-level errors."""
+
+
+class ScheduledCall:
+    """Cancelable handle for one scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`.  ``cancel()`` is O(1): it marks
+    the entry dead where it sits (heap or timer wheel); the kernel drops dead
+    entries without executing them and without advancing the clock to their
+    deadline, so a drained run ends at the last *live* event.
+    """
+
+    __slots__ = ("sim", "when", "seq", "fn", "args", "ctx", "_pooled")
+
+    def __init__(self, sim: "Simulator", when: float, seq: int, fn, args,
+                 ctx, pooled: bool = False):
+        self.sim = sim
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.ctx = ctx
+        self._pooled = pooled
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still pending (not fired, not cancelled)."""
+        return self.fn is not None
+
+    def cancel(self) -> bool:
+        """Cancel the pending callback.  Returns True if it was still pending;
+        cancelling an already-fired or already-cancelled call is a no-op."""
+        if self.fn is None:
+            return False
+        self.fn = None
+        self.args = ()
+        self.ctx = None
+        sim = self.sim
+        sim._live -= 1
+        # Amortized compaction: every 16384 cancels, check whether dead
+        # entries are the physical majority and sweep them out if so, so
+        # cancellation actually reclaims memory instead of leaving corpses
+        # parked in wheel slots until their original deadline.  The far-buffer
+        # flush already recycles corpses cancelled before their first
+        # organize, so the threshold is deliberately lazy — the sweep is for
+        # long-lived wheel corpses, not the common cancel-quickly pattern.
+        sim._dead += 1
+        if sim._dead > 16384:
+            physical = len(sim._queue) + sim._wheel_count + len(sim._far)
+            if (physical - sim._live) * 2 > physical:
+                sim._compact()
+            else:
+                sim._dead = 0
+        return True
+
+    def release(self) -> bool:
+        """:meth:`cancel`, plus hand the entry back to the kernel freelist.
+
+        The caller asserts it is dropping its reference *now*: the object
+        will be recycled for unrelated callbacks once the kernel unlinks it,
+        so any later method call on the handle is undefined behaviour.  Use
+        it for the schedule-then-revoke pattern where the handle provably
+        does not outlive its owner (the RPC layer's per-call deadline and
+        retry timers); when in doubt, use :meth:`cancel`.
+        """
+        if self.fn is None:
+            return False
+        self.fn = None
+        self.args = ()
+        self.ctx = None
+        self._pooled = True  # recyclable at whichever drop site finds it
+        sim = self.sim
+        sim._live -= 1
+        sim._dead += 1
+        if sim._dead > 16384:
+            physical = len(sim._queue) + sim._wheel_count + len(sim._far)
+            if (physical - sim._live) * 2 > physical:
+                sim._compact()
+            else:
+                sim._dead = 0
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self.fn is not None else "dead"
+        return f"<ScheduledCall @{self.when:g} {state}>"
+
+
+# Allocation shortcut for the scheduling hot paths: __new__ + direct slot
+# stores skips the __init__ call frame.
+_new_entry = ScheduledCall.__new__
 
 
 class Interrupted(Exception):
@@ -103,13 +206,14 @@ class Event:
         self._ok = ok
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
+        sim = self.sim
         for cb in callbacks:
-            self.sim.schedule(0.0, cb, self)
+            sim._schedule_pooled(0.0, cb, (self,))
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb`` to run (as a scheduled callback) once triggered."""
         if self._triggered:
-            self.sim.schedule(0.0, cb, self)
+            self.sim._schedule_pooled(0.0, cb, (self,))
         else:
             self._callbacks.append(cb)
 
@@ -128,7 +232,7 @@ class Timeout(Event):
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=f"timeout({delay:g})")
         self.delay = delay
-        sim.schedule(delay, self._fire, value)
+        sim._schedule_pooled(delay, self._fire, (value,))
 
     def _fire(self, value: Any) -> None:
         if not self._triggered:
@@ -211,7 +315,7 @@ class Process(Event):
         # time (or an explicit override), restored around every generator
         # resume so causality survives arbitrary interleavings.
         self.ctx = sim.ctx if ctx is None else ctx
-        sim.schedule(0.0, self._resume, None)
+        sim._schedule_pooled(0.0, self._resume, (None,))
 
     @property
     def alive(self) -> bool:
@@ -232,7 +336,7 @@ class Process(Event):
                 target._callbacks.remove(self._on_wait_done)
             except ValueError:
                 pass
-        self.sim.schedule(0.0, self._throw, Interrupted(cause))
+        self.sim._schedule_pooled(0.0, self._throw, (Interrupted(cause),))
 
     def _throw(self, exc: BaseException) -> None:
         if self._triggered:
@@ -252,6 +356,29 @@ class Process(Event):
     def _step(self, advance: Callable[[], Any]) -> None:
         self._waiting_on = None
         sim = self.sim
+        if sim.tracer is None:
+            # Fast path: tracing is off, so there is no ambient span context
+            # to pin/restore around the resume.
+            try:
+                target = advance()
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupted as exc:
+                self.fail(exc)
+                return
+            except BaseException as exc:  # process boundary: any error in user
+                self.fail(exc)            # code must fail the process event
+                return
+            if not isinstance(target, Event):
+                sim._schedule_pooled(
+                    0.0, self._resume_error,
+                    (SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"),))
+                return
+            self._waiting_on = target
+            target.add_callback(self._on_wait_done)
+            return
         prev, sim.ctx = sim.ctx, self.ctx
         try:
             try:
@@ -268,11 +395,10 @@ class Process(Event):
                 self.fail(exc)            # code must fail the process event
                 return
             if not isinstance(target, Event):
-                sim.schedule(
-                    0.0,
-                    self._resume_error,
-                    SimulationError(f"process {self.name!r} yielded non-event {target!r}"),
-                )
+                sim._schedule_pooled(
+                    0.0, self._resume_error,
+                    (SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"),))
                 return
             self._waiting_on = target
             target.add_callback(self._on_wait_done)
@@ -295,13 +421,58 @@ class Process(Event):
 
 
 class Simulator:
-    """The discrete-event scheduler and virtual clock."""
+    """The discrete-event scheduler and virtual clock.
 
-    def __init__(self):
+    Two pending-event structures sit behind one total order:
+
+    - a binary heap of ``(when, seq, ScheduledCall)`` for near events, the
+      final ordering authority;
+    - a hashed hierarchical timer wheel for far events (delay >=
+      ``_WHEEL_CUTOFF``), which cascades entries down a level at a time and
+      hands them to the heap just before they become due.
+
+    Every entry reaches the heap before its fire time and the heap orders by
+    ``(when, seq)`` with a global monotone ``seq``, so event order — FIFO
+    among ties included — is byte-identical to the single-heap kernel.
+    Cancelled entries are dropped wherever they are found, without advancing
+    the clock, so they neither bloat the heap nor stretch run-until-drain.
+    """
+
+    __slots__ = ("_now", "_queue", "_counter", "_running", "_cutoff",
+                 "_wheel_slots", "_wheel_order", "_wheel_next", "_wheel_count",
+                 "_far", "_far_min", "_live", "_dead", "_pool", "ctx",
+                 "tracer")
+
+    def __init__(self, timer_wheel: bool = True):
         self._now = 0.0
         self._queue: List = []
         self._counter = itertools.count()
         self._running = False
+        # Timer wheel: per-level {slot_index: [ScheduledCall]} plus a heap of
+        # occupied slot indices per level (lazily pruned).  ``_wheel_next``
+        # caches the earliest occupied slot start across levels.  The wheel
+        # cutoff is per-instance so disabling the wheel (heap-baseline mode)
+        # folds into the same ``delay < cutoff`` test the hot path already
+        # performs.
+        self._cutoff = _WHEEL_CUTOFF if timer_wheel else _INF
+        self._wheel_slots: List[dict] = [{} for _ in _WHEEL_WIDTHS]
+        self._wheel_order: List[List[int]] = [[] for _ in _WHEEL_WIDTHS]
+        self._wheel_next = _INF
+        self._wheel_count = 0
+        # Far-entry front buffer: schedule() parks far timers here with a
+        # bare list append and they are only sorted into the wheel when the
+        # clock approaches ``_far_min``.  Under the dominant
+        # schedule-then-cancel pattern most entries are cancelled before the
+        # buffer is ever organized, so they cost two O(1) list ops total.
+        self._far: List[ScheduledCall] = []
+        self._far_min = _INF
+        # Live (not-yet-fired, not-cancelled) entries across heap and wheel,
+        # plus the cancels-since-last-compaction-check countdown.
+        self._live = 0
+        self._dead = 0
+        # Freelist of pooled ScheduledCall objects (internal, no handle ever
+        # exposed, so recycling them is safe).
+        self._pool: List[ScheduledCall] = []
         # Ambient trace context (an ``obs.tracing.SpanContext`` or None).
         # Captured by schedule() and pinned on spawned processes, so trace
         # context follows the causal chain of callbacks and resumes without
@@ -316,21 +487,322 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def pending(self) -> int:
+        """Number of live (schedulable, uncancelled) callbacks."""
+        return self._live
+
+    def queue_depth(self) -> int:
+        """Physical entries held in the heap, the timer wheel, and the far
+        buffer (dead entries included until they are swept); the heap
+        high-water input."""
+        return len(self._queue) + self._wheel_count + len(self._far)
+
     # -- scheduling -------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time.
+
+        Returns a :class:`ScheduledCall` handle; ``handle.cancel()`` revokes
+        the callback in O(1) without leaving a stale heap entry behind.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
+        when = self._now + delay
         # The ambient trace context rides along; ordering still compares only
-        # (when, seq), so tracing never perturbs event order.
-        heapq.heappush(self._queue,
-                       (self._now + delay, next(self._counter), fn, args,
-                        self.ctx))
+        # (when, seq), so tracing never perturbs event order.  The entry
+        # comes from the freelist when possible and is otherwise built via
+        # __new__ + slot stores: schedule() runs millions of times per
+        # experiment and the __init__ call frame is measurable.  Handing a
+        # recycled entry out as a public handle is safe because it is marked
+        # non-pooled here: it will never be auto-recycled at fire time, only
+        # if its new owner calls release() again.
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry.when = when
+            entry.seq = seq = next(self._counter)
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+            entry._pooled = False
+        else:
+            entry = _new_entry(ScheduledCall)
+            entry.sim = self
+            entry.when = when
+            entry.seq = seq = next(self._counter)
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+            entry._pooled = False
+        self._live += 1
+        if delay < self._cutoff:
+            heapq.heappush(self._queue, (when, seq, entry))
+        else:
+            self._far.append(entry)
+            if when < self._far_min:
+                self._far_min = when
+        return entry
 
-    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
-        self.schedule(when - self._now, fn, *args)
+        return self.schedule(when - self._now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned, so the
+        callback cannot be cancelled — and the kernel recycles the entry the
+        moment it fires.  Use it for callbacks that are never revoked
+        (datagram delivery, completion notifications); at millions of events
+        per run the saved allocation is the difference between a steady-state
+        and a growing garbage set."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        # Body of _schedule_pooled, inlined: this runs once per datagram.
+        when = self._now + delay
+        seq = next(self._counter)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry.when = when
+            entry.seq = seq
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+        else:
+            entry = _new_entry(ScheduledCall)
+            entry.sim = self
+            entry.when = when
+            entry.seq = seq
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+            entry._pooled = True
+        self._live += 1
+        if delay < self._cutoff:
+            heapq.heappush(self._queue, (when, seq, entry))
+        else:
+            self._far.append(entry)
+            if when < self._far_min:
+                self._far_min = when
+
+    def _schedule_pooled(self, delay: float, fn: Callable, args: tuple) -> None:
+        """Internal hot-path scheduling: recycles entry objects from the
+        freelist.  No handle escapes, so pooled entries are never cancelled
+        and can be reused the moment they fire."""
+        when = self._now + delay
+        seq = next(self._counter)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry.when = when
+            entry.seq = seq
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+        else:
+            entry = _new_entry(ScheduledCall)
+            entry.sim = self
+            entry.when = when
+            entry.seq = seq
+            entry.fn = fn
+            entry.args = args
+            entry.ctx = self.ctx
+            entry._pooled = True
+        self._live += 1
+        if delay < self._cutoff:
+            heapq.heappush(self._queue, (when, seq, entry))
+        else:
+            self._far.append(entry)
+            if when < self._far_min:
+                self._far_min = when
+
+    # -- timer wheel ------------------------------------------------------
+
+    def _flush_far(self) -> None:
+        """Organize the far buffer: cancelled entries are dropped, near
+        entries go to the heap, the rest park in the wheel by *remaining*
+        delay (slot start strictly after ``now``, as in the cascade).  Runs
+        when the clock reaches ``_far_min``, i.e. at most once per
+        ``_WHEEL_CUTOFF`` of virtual time, and every entry passes through at
+        most once — amortized O(1) per schedule."""
+        now = self._now
+        queue = self._queue
+        pool = self._pool
+        far, self._far = self._far, []
+        self._far_min = _INF
+        for entry in far:
+            if entry.fn is None:
+                # Cancelled while buffered: two list ops total.  Released
+                # handles go back to the freelist.
+                if entry._pooled and len(pool) < _POOL_MAX:
+                    pool.append(entry)
+                continue
+            remaining = entry.when - now
+            if remaining < _WHEEL_CUTOFF:
+                heapq.heappush(queue, (entry.when, entry.seq, entry))
+            else:
+                if remaining >= 4.0:
+                    level = 3 if remaining >= 1024.0 else (
+                        2 if remaining >= 64.0 else 1)
+                else:
+                    level = 0
+                self._wheel_put(level, entry)
+
+    def _wheel_put(self, level: int, entry: ScheduledCall) -> None:
+        width = _WHEEL_WIDTHS[level]
+        idx = int(entry.when / width)
+        slots = self._wheel_slots[level]
+        bucket = slots.get(idx)
+        if bucket is None:
+            slots[idx] = [entry]
+            heapq.heappush(self._wheel_order[level], idx)
+            start = idx * width
+            if start < self._wheel_next:
+                self._wheel_next = start
+        else:
+            bucket.append(entry)
+        self._wheel_count += 1
+
+    def _wheel_flush_min(self) -> None:
+        """Empty the earliest occupied wheel slot: dead entries are dropped,
+        near entries go to the heap, far entries cascade a level down (by
+        offset from the slot start, so cascading strictly descends and
+        terminates).  Recomputes ``_wheel_next``."""
+        best_level = -1
+        best_start = _INF
+        best_idx = 0
+        for level, order in enumerate(self._wheel_order):
+            slots = self._wheel_slots[level]
+            while order and order[0] not in slots:
+                heapq.heappop(order)
+            if order:
+                start = order[0] * _WHEEL_WIDTHS[level]
+                if start < best_start:
+                    best_start = start
+                    best_level = level
+                    best_idx = order[0]
+        if best_level < 0:
+            self._wheel_next = _INF
+            return
+        heapq.heappop(self._wheel_order[best_level])
+        bucket = self._wheel_slots[best_level].pop(best_idx)
+        self._wheel_count -= len(bucket)
+        queue = self._queue
+        pool = self._pool
+        for entry in bucket:
+            if entry.fn is None:
+                # Cancelled while parked: drop, never hits the heap.
+                if entry._pooled and len(pool) < _POOL_MAX:
+                    pool.append(entry)
+                continue
+            remaining = entry.when - best_start
+            if best_level == 0 or remaining < _WHEEL_CUTOFF:
+                heapq.heappush(queue, (entry.when, entry.seq, entry))
+            else:
+                if remaining >= 64.0:
+                    level = 2
+                elif remaining >= 4.0:
+                    level = 1
+                else:
+                    level = 0
+                self._wheel_put(level, entry)
+        # New earliest slot (cascade may have created nearer ones).
+        nxt = _INF
+        for level, order in enumerate(self._wheel_order):
+            slots = self._wheel_slots[level]
+            while order and order[0] not in slots:
+                heapq.heappop(order)
+            if order:
+                start = order[0] * _WHEEL_WIDTHS[level]
+                if start < nxt:
+                    nxt = start
+        self._wheel_next = nxt
+
+    def _compact(self) -> None:
+        """Sweep dead (cancelled) entries out of the heap and every wheel
+        slot.  O(physical entries), triggered from :meth:`ScheduledCall.cancel`
+        only when the dead majority threshold is crossed, so the amortized
+        cost per cancel is O(1).  Mutates the heap list in place: ``run()``
+        holds a local reference to it."""
+        pool = self._pool
+        queue = self._queue
+        live = []
+        for item in queue:
+            entry = item[2]
+            if entry.fn is not None:
+                live.append(item)
+            elif entry._pooled and len(pool) < _POOL_MAX:
+                pool.append(entry)
+        heapq.heapify(live)
+        queue[:] = live
+        far = self._far
+        survivors = []
+        for entry in far:
+            if entry.fn is not None:
+                survivors.append(entry)
+            elif entry._pooled and len(pool) < _POOL_MAX:
+                pool.append(entry)
+        far[:] = survivors
+        self._far_min = min((e.when for e in far), default=_INF)
+        count = 0
+        nxt = _INF
+        for level, slots in enumerate(self._wheel_slots):
+            order = self._wheel_order[level]
+            width = _WHEEL_WIDTHS[level]
+            del order[:]
+            for idx in list(slots):
+                bucket = []
+                for entry in slots[idx]:
+                    if entry.fn is not None:
+                        bucket.append(entry)
+                    elif entry._pooled and len(pool) < _POOL_MAX:
+                        pool.append(entry)
+                if bucket:
+                    slots[idx] = bucket
+                    order.append(idx)
+                    count += len(bucket)
+                else:
+                    del slots[idx]
+            heapq.heapify(order)
+            if order:
+                start = order[0] * width
+                if start < nxt:
+                    nxt = start
+        self._wheel_count = count
+        self._wheel_next = nxt
+        self._dead = 0
+
+    def _surface(self) -> Optional[ScheduledCall]:
+        """Bring the next live entry to the heap top and return it (without
+        popping); sweeps cancelled entries and flushes due wheel slots.
+        Returns None when nothing live remains.  Never advances the clock."""
+        queue = self._queue
+        pool = self._pool
+        while True:
+            while queue and queue[0][2].fn is None:
+                entry = heapq.heappop(queue)[2]
+                if entry._pooled and len(pool) < _POOL_MAX:
+                    pool.append(entry)
+            # A buffered far entry or a wheel slot starting at or before the
+            # next event time may hold an entry due sooner; organize those
+            # before trusting the heap top.  ``_far_min``/``_wheel_next``
+            # are +inf whenever their structure is empty.
+            if queue:
+                top = queue[0][0]
+                if self._far_min <= top:
+                    self._flush_far()
+                    continue
+                if self._wheel_next <= top:
+                    self._wheel_flush_min()
+                    continue
+                return queue[0][2]
+            if self._far:
+                self._flush_far()
+                continue
+            if self._wheel_count:
+                self._wheel_flush_min()
+                continue
+            return None
 
     # -- awaitable factories ----------------------------------------------
 
@@ -357,39 +829,120 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
 
+    def _execute(self, entry: ScheduledCall) -> None:
+        """Fire an entry already popped from the heap (clock already set)."""
+        self._live -= 1
+        fn = entry.fn
+        args = entry.args
+        ctx = entry.ctx
+        entry.fn = None  # marks fired: a late cancel() is now a no-op
+        if entry._pooled:
+            entry.args = ()
+            entry.ctx = None
+            pool = self._pool
+            if len(pool) < _POOL_MAX:
+                pool.append(entry)
+        if self.tracer is None:
+            fn(*args)
+        else:
+            prev, self.ctx = self.ctx, ctx
+            try:
+                fn(*args)
+            finally:
+                self.ctx = prev
+
     def step(self) -> bool:
         """Execute the next scheduled callback.  Returns False if idle."""
-        if not self._queue:
+        entry = self._surface()
+        if entry is None:
             return False
-        when, _seq, fn, args, ctx = heapq.heappop(self._queue)
-        self._now = when
-        prev, self.ctx = self.ctx, ctx
-        try:
-            fn(*args)
-        finally:
-            self.ctx = prev
+        heapq.heappop(self._queue)
+        self._now = entry.when
+        self._execute(entry)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the event queue drains or ``until`` (absolute time).
+        """Run until the live events drain or ``until`` (absolute time).
 
         Returns the clock value when the run stops.  When stopping at
         ``until``, the clock is advanced to exactly ``until`` and any events
-        scheduled for later remain queued.
+        scheduled for later remain queued.  Cancelled callbacks never run
+        and never advance the clock: a run whose tail is all-cancelled ends
+        at the last live event.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        queue = self._queue
         try:
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
+            if until is None:
+                # Hot loop: no stop-time check; the tracer check stays
+                # per-iteration so installing a tracer mid-run still works.
+                # _surface() is inlined — one call frame per event is the
+                # single largest fixed cost at millions of events/run.
+                pool = self._pool
+                while True:
+                    if queue:
+                        head = queue[0]
+                        entry = head[2]
+                        if entry.fn is None:
+                            heappop(queue)
+                            # Dead entries are only released entries here
+                            # (pooled internals are never cancelled).
+                            if entry._pooled and len(pool) < _POOL_MAX:
+                                pool.append(entry)
+                            continue
+                        # _far_min / _wheel_next are +inf whenever the far
+                        # buffer / wheel are empty, so the <= checks alone
+                        # are safe (and one attribute load cheaper).
+                        if self._far_min <= head[0]:
+                            self._flush_far()
+                            continue
+                        if self._wheel_next <= head[0]:
+                            self._wheel_flush_min()
+                            continue
+                    elif self._far:
+                        self._flush_far()
+                        continue
+                    elif self._wheel_count:
+                        self._wheel_flush_min()
+                        continue
+                    else:
+                        break
+                    heappop(queue)
+                    self._now = head[0]
+                    self._live -= 1
+                    fn = entry.fn
+                    args = entry.args
+                    ctx = entry.ctx
+                    entry.fn = None
+                    if entry._pooled:
+                        entry.args = ()
+                        entry.ctx = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(entry)
+                    if self.tracer is None:
+                        fn(*args)
+                    else:
+                        prev, self.ctx = self.ctx, ctx
+                        try:
+                            fn(*args)
+                        finally:
+                            self.ctx = prev
+                return self._now
+            while True:
+                entry = self._surface()
+                if entry is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and entry.when > until:
                     self._now = until
                     break
-                self.step()
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+                heappop(queue)
+                self._now = entry.when
+                self._execute(entry)
         finally:
             self._running = False
         return self._now
@@ -397,11 +950,14 @@ class Simulator:
     def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` triggers; raise on failure or time limit."""
         while not event.triggered:
-            if not self._queue:
+            entry = self._surface()
+            if entry is None:
                 raise SimulationError("deadlock: event queue drained while waiting")
-            if self._queue[0][0] > limit:
+            if entry.when > limit:
                 raise SimulationError(f"time limit {limit} reached while waiting")
-            self.step()
+            heapq.heappop(self._queue)
+            self._now = entry.when
+            self._execute(entry)
         if not event.ok:
             value = event.value
             if isinstance(value, BaseException):

@@ -90,11 +90,18 @@ class Series:
             raise ValueError("bin width must be positive")
         if t1 is None:
             t1 = self.times[-1] + width if self.times else t0 + width
-        nbins = max(1, math.ceil((t1 - t0) / width))
+        # Bin count from the same robust index as the samples: float division
+        # can land a hair above an exact multiple (5.6/0.7 -> 8.000…002),
+        # which would manufacture a trailing empty bin via ceil().
+        edge = _bin_index(t1, t0, width)
+        nbins = max(1, edge if t0 + edge * width == t1 else edge + 1)
         buckets: List[List[float]] = [[] for _ in range(nbins)]
         for t, v in zip(self.times, self.values):
             if t0 <= t < t1:
-                buckets[int((t - t0) / width)].append(v)
+                idx = _bin_index(t, t0, width)
+                if idx >= nbins:  # float residue guard at the t1 edge
+                    idx = nbins - 1
+                buckets[idx].append(v)
         out = []
         for i, bucket in enumerate(buckets):
             start = t0 + i * width
@@ -109,6 +116,24 @@ class Series:
             else:
                 raise ValueError(f"unknown aggregation {agg!r}")
         return out
+
+
+def _bin_index(t: float, t0: float, width: float) -> int:
+    """Bucket index of ``t`` in fixed-width bins starting at ``t0``.
+
+    ``int((t - t0) / width)`` alone is wrong at bin boundaries: float
+    division rounds 0.2/0.1 down to 1.999…, misplacing a boundary sample
+    into the previous bin, and can round the last edge *up* past the final
+    bin.  Nudge the quotient until the invariant
+    ``t0 + idx*width <= t < t0 + (idx+1)*width`` holds exactly in float
+    arithmetic (at most one step in either direction).
+    """
+    idx = int((t - t0) / width)
+    while t >= t0 + (idx + 1) * width:
+        idx += 1
+    while idx > 0 and t < t0 + idx * width:
+        idx -= 1
+    return idx
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -177,3 +177,81 @@ def test_server_stats_track_requests():
     server.register("svc", "m", lambda r: "ok")
     call(sim, channel, "svc", "m", None)
     assert server.stats["requests"] == 1
+
+
+# -- timer lifecycle and the co-located fast path -----------------------------
+
+
+def test_response_revokes_deadline_and_retry_timers():
+    """A completed call must cancel its expiry/retry timers: the run drains
+    at the response, not at the 60 s deadline, and nothing stays pending."""
+    sim, net, server, channel = build()
+    server.register("svc", "echo", lambda req: req)
+    got = []
+
+    def caller(sim):
+        got.append((yield channel.call("svc", "echo", 42, deadline=60.0)))
+
+    sim.spawn(caller(sim))
+    drained_at = sim.run()
+    assert got == [42]
+    assert drained_at < 1.0
+    assert channel.pending_calls() == 0
+    assert sim.pending == 0
+
+
+def test_close_revokes_in_flight_timers():
+    sim, net, server, channel = build()
+    net.set_node_up("server", False)  # requests black-hole -> retry chain
+    failures = []
+
+    def caller(sim):
+        try:
+            yield channel.call("svc", "echo", 1, deadline=120.0)
+        except RpcError as exc:
+            failures.append(exc.code)
+
+    sim.spawn(caller(sim))
+    sim.run(until=1.0)
+    channel.close()
+    drained_at = sim.run()
+    assert failures == [RpcError.UNAVAILABLE]
+    assert drained_at < 2.0  # not the 120 s deadline
+    assert channel.pending_calls() == 0
+    assert sim.pending == 0
+
+
+def test_colocated_call_takes_fast_path():
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1))
+    server = RpcServer(sim, net, "host")
+    channel = RpcChannel(sim, net, "host", "host")
+    server.register("svc", "inc", lambda req: req + 1)
+    got = []
+
+    def caller(sim):
+        got.append((yield channel.call("svc", "inc", 1)))
+
+    sim.spawn(caller(sim))
+    sim.run()
+    assert got == [2]
+    assert channel.stats["local_fast_path"] == 1
+    assert channel.stats["retries"] == 0
+    assert sim.pending == 0
+
+
+def test_call_storm_leaves_no_timer_rot():
+    sim, net, server, channel = build()
+    server.register("svc", "echo", lambda req: req)
+    results = []
+
+    def caller(sim, i):
+        results.append((yield channel.call("svc", "echo", i, deadline=30.0)))
+
+    for i in range(50):
+        sim.spawn(caller(sim, i))
+    drained_at = sim.run()
+    assert sorted(results) == list(range(50))
+    assert drained_at < 5.0
+    assert channel.pending_calls() == 0
+    assert sim.pending == 0

@@ -158,3 +158,48 @@ def test_set_node_up_unknown_raises():
     sim, net = make_net()
     with pytest.raises(KeyError):
         net.set_node_up("ghost", False)
+
+
+# -- routing around failures and route-cache invalidation ---------------------
+
+
+def test_reroute_around_crashed_transit():
+    """A crashed transit node must not black-hole traffic between healthy
+    endpoints that still have a live alternate path."""
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1))
+    net.connect("a", "m1", Link(latency=0.01))
+    net.connect("m1", "b", Link(latency=0.01))
+    net.connect("a", "m2", Link(latency=0.05))
+    net.connect("m2", "b", Link(latency=0.05))
+    got = []
+    net.bind("b", 9, got.append)
+    net.send(Datagram("a", "b", 9, "warm"))  # populate the route cache
+    sim.run()
+    assert [d.payload for d in got] == ["warm"]
+    net.set_node_up("m1", False)
+    net.send(Datagram("a", "b", 9, "after-crash"))
+    sim.run()
+    assert [d.payload for d in got] == ["warm", "after-crash"]
+    assert net.stats["dropped_down"] == 0  # rerouted via m2, never black-holed
+    assert net.stats["dropped_unroutable"] == 0
+
+
+def test_recovery_invalidates_negative_route_cache():
+    """A no-route verdict cached while a node was down must be recomputed
+    once the node recovers."""
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1))
+    net.connect("a", "m", Link(latency=0.01))
+    net.connect("m", "b", Link(latency=0.01))
+    got = []
+    net.bind("b", 9, got.append)
+    net.set_node_up("m", False)
+    net.send(Datagram("a", "b", 9, "lost"))
+    sim.run()
+    assert got == []
+    assert net.stats["dropped_unroutable"] == 1
+    net.set_node_up("m", True)
+    net.send(Datagram("a", "b", 9, "found"))
+    sim.run()
+    assert [d.payload for d in got] == ["found"]

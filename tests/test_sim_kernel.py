@@ -327,3 +327,138 @@ def test_nested_processes_deep_chain():
     p = sim.spawn(level(sim, 20))
     sim.run()
     assert p.value == 20
+
+
+# -- cancelable handles, timer wheel, freelist --------------------------------
+
+
+def test_cancel_revokes_callback():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.active
+    assert handle.cancel() is True
+    assert not handle.active
+    assert handle.cancel() is False  # second cancel is a no-op
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert not handle.active
+    assert handle.cancel() is False
+
+
+def test_cancelled_timer_does_not_extend_drain():
+    """A revoked far timer must not hold the clock hostage until its
+    original deadline (the guard-timer rot pathology)."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "live")
+    rot = sim.schedule(100.0, fired.append, "rot")
+    rot.cancel()
+    assert sim.run() == 1.0
+    assert fired == ["live"]
+    assert sim.pending == 0
+
+
+def test_event_order_identical_with_and_without_wheel():
+    """The wheel is a container, not an ordering authority: firing order
+    (including FIFO ties) must match the plain-heap kernel exactly."""
+    delays = [0.1, 0.24, 0.25, 0.26, 1.0, 3.99, 4.0, 65.0, 1025.0,
+              0.25, 1.0, 0.0, 2048.0, 63.9, 0.25]
+    runs = []
+    for wheel in (True, False):
+        sim = Simulator(timer_wheel=wheel)
+        seen = []
+        for i, d in enumerate(delays):
+            sim.schedule(d, seen.append, (d, i))
+        sim.run()
+        runs.append(seen)
+    assert runs[0] == runs[1]
+
+
+def test_event_order_identical_with_nested_schedules():
+    def drive(wheel):
+        sim = Simulator(timer_wheel=wheel)
+        seen = []
+
+        def tick(tag, depth):
+            seen.append((sim.now, tag))
+            if depth:
+                sim.schedule(0.2, tick, tag + "n", depth - 1)
+                sim.schedule(1.7, tick, tag + "f", depth - 1)
+
+        for i, d in enumerate([0.0, 0.3, 5.0, 70.0]):
+            sim.schedule(d, tick, str(i), 3)
+        sim.run()
+        return seen
+
+    assert drive(True) == drive(False)
+
+
+def test_release_recycles_without_misfiring():
+    """A released entry may still be physically linked in the scheduler;
+    recycling must never fire it or corrupt unrelated callbacks."""
+    sim = Simulator()
+    fired = []
+    stale = sim.schedule(1.0, fired.append, "stale")
+    stale.release()
+    for i in range(10):
+        sim.schedule(0.5 + i, fired.append, i)
+    assert sim.run() == 9.5
+    assert fired == list(range(10))
+    assert sim.pending == 0
+
+
+def test_released_entry_returns_to_freelist():
+    sim = Simulator()
+    first = sim.schedule(5.0, lambda: None)
+    first.release()
+    sim.run()  # the drop site unlinks and recycles the entry
+    fired = []
+    second = sim.schedule(1.0, fired.append, "ok")
+    assert second is first  # same object, drawn back out of the pool
+    sim.run()
+    assert fired == ["ok"]
+    assert second.cancel() is False  # already fired; handle stayed coherent
+
+
+def test_call_later_fire_and_forget():
+    sim = Simulator()
+    fired = []
+    assert sim.call_later(1.0, fired.append, "near") is None
+    assert sim.call_later(50.0, fired.append, "far") is None
+    sim.run()
+    assert fired == ["near", "far"]
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, fired.append, "no")
+
+
+def test_pending_and_queue_depth_accounting():
+    sim = Simulator()
+    handles = [sim.schedule(1.0 + i, lambda: None) for i in range(3)]
+    assert sim.pending == 3
+    assert sim.queue_depth() == 3
+    handles[0].cancel()
+    assert sim.pending == 2  # live count drops immediately on cancel
+    sim.run()
+    assert sim.pending == 0
+    assert sim.queue_depth() == 0
+
+
+def test_mass_cancellation_compacts_storage():
+    """Cancelling en masse must reclaim memory via the amortized sweep,
+    not park corpses in wheel slots until their 50 s deadline."""
+    sim = Simulator()
+    handles = [sim.schedule(50.0, lambda: None) for _ in range(20_000)]
+    for h in handles:
+        h.cancel()
+    assert sim.pending == 0
+    assert sim.queue_depth() < 20_000
+    assert sim.run() == 0.0  # nothing live: the clock never advances

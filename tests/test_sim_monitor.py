@@ -155,3 +155,36 @@ def test_monitor_series_and_counters():
     assert m.has_series("throughput")
     assert not m.has_series("nope")
     assert set(m.counters()) == {"attach.success", "attach.fail"}
+
+
+# -- float-robust binning -----------------------------------------------------
+
+
+def test_binned_boundary_sample_lands_in_own_bin():
+    """0.2/0.1 floats to 1.999...: a naive int() would misplace the
+    boundary sample into the previous bin."""
+    s = Series("csr")
+    s.record(0.2, 1.0)
+    out = s.binned(0.1, t0=0.0, t1=0.3, agg="count")
+    assert [v for _, v in out] == [0.0, 0.0, 1.0]
+
+
+def test_binned_no_phantom_trailing_bin():
+    """5.6/0.7 floats a hair above 8.0: ceil()-style bin counting would
+    manufacture a ninth, empty bin."""
+    s = Series("csr")
+    for k in range(8):
+        s.record(k * 0.7, 1.0)
+    out = s.binned(0.7, t0=0.0, t1=5.6, agg="count")
+    assert len(out) == 8
+    assert [v for _, v in out] == [1.0] * 8
+
+
+def test_bin_index_invariant_over_grid():
+    from repro.sim.monitor import _bin_index
+
+    for width in (0.1, 0.3, 0.7, 1.0, 2.5):
+        for k in range(200):
+            t = k * width
+            idx = _bin_index(t, 0.0, width)
+            assert idx * width <= t < (idx + 1) * width

@@ -177,3 +177,17 @@ def test_namespace_versions_survive_store_recovery():
     assert recovered.namespace_version("subscribers") == 3
     assert recovered.namespace_version("policies") == 2
     assert recovered.namespace_version("ran") == 0
+
+
+def test_stale_gateways_scoped_per_network():
+    """One tenant's write must not report every other tenant's gateways
+    stale forever: staleness compares against the gateway's own network's
+    config version, not the global store version."""
+    sim, store, sync = make_statesync()
+    checkin(sync, "agw-a", version=0, network_id="net-a")
+    checkin(sync, "agw-b", version=0, network_id="net-b")
+    assert sync.stale_gateways() == []
+    store.put("policies@net-a", "p", {"x": 1})
+    assert sync.stale_gateways() == ["agw-a"]
+    checkin(sync, "agw-a", version=store.version, network_id="net-a")
+    assert sync.stale_gateways() == []
