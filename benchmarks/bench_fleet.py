@@ -1,0 +1,304 @@
+"""Fleet scale-out bench: cohort aggregation vs all-coroutine UEs.
+
+Emits ``BENCH_fleet.json`` — the committed scale-out trajectory — and
+checks fresh runs against the committed snapshot, mirroring
+``bench_kernel.py``.
+
+Two legs, measured in the same session with the same per-UE dynamics
+(attach/detach/idle/resume rates, tick, AGW hardware profile):
+
+- **fleet leg**: a :class:`~repro.workloads.fleet.UeFleet` drives a
+  six-figure subscriber population across >= 100 full ``AccessGateway``
+  instances through the batched bulk entry points, with a sampled
+  sub-population of real coroutine UEs riding through real eNodeBs for
+  latency fidelity.
+- **coroutine leg**: the all-coroutine configuration of the same
+  dynamics — every subscriber is a real ``Ue`` driven through the real
+  NAS stack (a ``UeFleet`` with a size-0 cohort and a 100% sample
+  population), at the largest population that configuration can carry.
+
+The headline metric is **subscriber-sim-seconds per wall second**
+(population x simulated duration / wall time): the paper-scale question
+is how much subscriber-time one wall-second buys.  The committed
+acceptance bar is fleet >= 10x coroutine, in-session, same machine.
+
+Deterministic canaries (attached population at the end, accepted attach
+count, scheduled-entry count) are exact for a fixed seed: any divergence
+is a behaviour change, not noise.  Absolute throughput is machine-bound
+and only floor-gated, with floors set far below observed values so noise
+never trips them while a real regression (losing batching would cost
+>10x) always does.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --all --out BENCH_fleet.json
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke \
+        --out BENCH_fleet.fresh.json --check BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.agw import VIRTUAL_8VCPU, AccessGateway, AgwConfig  # noqa: E402
+from repro.experiments.common import build_emulated_site  # noqa: E402
+from repro.workloads.fleet import (  # noqa: E402
+    AgwFleetAdapter,
+    CohortSpec,
+    UeFleet,
+)
+
+# Shared per-UE dynamics for both legs (per-second exponential rates).
+ATTACH_RATE = 0.01
+DETACH_RATE = 0.002
+IDLE_RATE = 0.005
+RESUME_RATE = 0.02
+TRAFFIC_MBPS = 0.01
+TICK = 1.0
+SEED = 23
+CONFIG = AgwConfig(hardware=VIRTUAL_8VCPU)   # 32 attaches/s per AGW
+
+SIZES = {
+    # mode: (agws, subscribers, sample_ues, coroutine_ues, sim_duration)
+    "smoke": (20, 10_000, 50, 200, 120.0),
+    "full": (100, 100_000, 500, 2_000, 300.0),
+}
+
+# In-session speedup floors (fleet vs coroutine subscriber-rate ratio).
+# Full mode's 10x is the acceptance bar from the scale-out issue; smoke
+# carries a smaller population so less of the aggregation win shows, and
+# its sub-second legs swing ~2x on shared runners (observed 4.9-6.3x) —
+# the floor sits under that band but far above the ~1x a real
+# batching-lost regression would produce.
+SPEEDUP_FLOOR = {"smoke": 2.5, "full": 10.0}
+
+# Absolute floor on fleet-leg subscriber-sim-seconds per wall second.
+# Observed ~10^7 on the snapshot machine; a 100x margin keeps slow CI
+# runners green while still catching a catastrophic (batching lost,
+# per-UE work reintroduced) regression.
+SUBSCRIBER_RATE_FLOOR = {"smoke": 100_000.0, "full": 1_000_000.0}
+
+
+def _cohort(name: str, size: int) -> CohortSpec:
+    return CohortSpec(name, size=size, attach_rate=ATTACH_RATE,
+                      detach_rate=DETACH_RATE, idle_rate=IDLE_RATE,
+                      resume_rate=RESUME_RATE, traffic_mbps=TRAFFIC_MBPS)
+
+
+def _events_scheduled(sim) -> int:
+    """Total entries ever scheduled (the kernel's sequence counter)."""
+    probe = sim.schedule(0.0, _noop)
+    seq = probe.seq
+    probe.release()
+    return seq
+
+
+def _noop():
+    pass
+
+
+def _peak_rss_kb() -> int:
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def fleet_leg(num_agws: int, subscribers: int, sample_ues: int,
+              duration: float) -> dict:
+    """Cohort-aggregated population across ``num_agws`` full AGWs."""
+    # AGW 0 comes from the site builder with real eNodeBs for the sampled
+    # sub-population; the rest are full AccessGateways on the same sim.
+    enbs = max(1, (sample_ues + 95) // 96)
+    site = build_emulated_site(num_enbs=enbs, num_ues=sample_ues,
+                               config=CONFIG, seed=SEED)
+    agws = [site.agw]
+    for i in range(1, num_agws):
+        agw = AccessGateway(site.sim, site.network, f"agw-fleet-{i}",
+                            config=CONFIG, monitor=site.monitor,
+                            rng=site.rng)
+        agw.start()
+        agws.append(agw)
+    fleet = UeFleet(site.sim, site.rng,
+                    [AgwFleetAdapter(agw) for agw in agws],
+                    [_cohort("subs", subscribers)],
+                    monitor=site.monitor, tick=TICK, name="bench")
+    if sample_ues:
+        fleet.add_sample_ues("subs", site.ues)
+    fleet.start()
+    start_events = _events_scheduled(site.sim)
+    gc.collect()
+    t0 = time.perf_counter()
+    site.sim.run(until=duration)
+    wall = time.perf_counter() - t0
+    events = _events_scheduled(site.sim) - start_events
+    sessions = sum(agw.sessiond.session_count() for agw in agws)
+    return {
+        "mode": "fleet",
+        "agws": num_agws,
+        "subscribers": subscribers,
+        "sample_ues": sample_ues,
+        "sim_duration": duration,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall),
+        "subscriber_sim_seconds_per_wall_sec":
+            round(subscribers * duration / wall),
+        "peak_rss_kb": _peak_rss_kb(),
+        # Deterministic canaries (exact for a fixed seed):
+        "attached_at_end": fleet.attached(),
+        "attach_accepted": fleet.counters["attach_accepted"],
+        "sessions_at_end": sessions,
+        "sample_attach_successes": fleet.counters["sample_attach_successes"],
+    }
+
+
+def coroutine_leg(num_ues: int, duration: float) -> dict:
+    """The same dynamics with every subscriber as a real coroutine UE."""
+    enbs = (num_ues + 95) // 96
+    site = build_emulated_site(num_enbs=enbs, num_ues=num_ues,
+                               config=CONFIG, seed=SEED)
+    fleet = UeFleet(site.sim, site.rng, [AgwFleetAdapter(site.agw)],
+                    [_cohort("subs", 0)], monitor=site.monitor,
+                    tick=TICK, name="bench")
+    fleet.add_sample_ues("subs", site.ues)
+    fleet.start()
+    start_events = _events_scheduled(site.sim)
+    gc.collect()
+    t0 = time.perf_counter()
+    site.sim.run(until=duration)
+    wall = time.perf_counter() - t0
+    events = _events_scheduled(site.sim) - start_events
+    return {
+        "mode": "coroutine",
+        "agws": 1,
+        "subscribers": num_ues,
+        "sim_duration": duration,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall),
+        "subscriber_sim_seconds_per_wall_sec":
+            round(num_ues * duration / wall),
+        "peak_rss_kb": _peak_rss_kb(),
+        "attached_at_end": fleet.sample_attached(),
+        "sample_attach_successes": fleet.counters["sample_attach_successes"],
+    }
+
+
+def _best_of(measure, reps: int = 3) -> dict:
+    """Min-wall estimator, as in bench_kernel: timing noise is additive."""
+    best = None
+    for _ in range(reps):
+        gc.collect()
+        result = measure()
+        if best is None or result["wall_seconds"] < best["wall_seconds"]:
+            best = result
+    return best
+
+
+def run_mode(mode: str) -> dict:
+    agws, subscribers, sample_ues, coroutine_ues, duration = SIZES[mode]
+    fleet = _best_of(lambda: fleet_leg(agws, subscribers, sample_ues,
+                                       duration))
+    coroutine = _best_of(lambda: coroutine_leg(coroutine_ues, duration))
+    ratio = (fleet["subscriber_sim_seconds_per_wall_sec"]
+             / coroutine["subscriber_sim_seconds_per_wall_sec"])
+    return {
+        "fleet": fleet,
+        "coroutine": coroutine,
+        "speedup_vs_coroutine": round(ratio, 2),
+    }
+
+
+def check(fresh: dict, committed: dict, mode: str) -> list:
+    """Compare a fresh run against the committed snapshot; returns a list
+    of failure strings (empty = green)."""
+    failures = []
+    new = fresh.get(mode)
+    old = committed.get(mode)
+    if old is None:
+        return [f"committed snapshot has no {mode!r} section"]
+    floor = SPEEDUP_FLOOR[mode]
+    if new["speedup_vs_coroutine"] < floor:
+        failures.append(
+            f"fleet speedup {new['speedup_vs_coroutine']}x below the "
+            f"{mode} {floor}x floor")
+    rate_floor = SUBSCRIBER_RATE_FLOOR[mode]
+    rate = new["fleet"]["subscriber_sim_seconds_per_wall_sec"]
+    if rate < rate_floor:
+        failures.append(
+            f"fleet subscriber rate {rate:,}/s below the {mode} hard floor "
+            f"{rate_floor:,.0f}/s")
+    # Deterministic canaries: exact for the fixed seed and workload.
+    for leg in ("fleet", "coroutine"):
+        for canary in ("attached_at_end", "attach_accepted",
+                       "sample_attach_successes", "sessions_at_end",
+                       "events"):
+            if canary not in old[leg]:
+                continue
+            if new[leg][canary] != old[leg][canary]:
+                failures.append(
+                    f"{leg} determinism canary {canary!r} changed: "
+                    f"{new[leg][canary]} vs committed {old[leg][canary]} "
+                    "(event order or fleet dynamics perturbed?)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI (writes the 'smoke' section)")
+    parser.add_argument("--all", action="store_true",
+                        help="run both smoke and full modes")
+    parser.add_argument("--out", default=None,
+                        help="write the fresh snapshot JSON here")
+    parser.add_argument("--check", default=None, metavar="SNAPSHOT",
+                        help="compare against a committed snapshot; exit 1 "
+                             "on floor breach or canary divergence")
+    args = parser.parse_args(argv)
+
+    snapshot = {"schema": 1}
+    modes = ["smoke", "full"] if args.all else (
+        ["smoke"] if args.smoke else ["full"])
+    for mode in modes:
+        print(f"== {mode} ==")
+        snapshot[mode] = run_mode(mode)
+        section = snapshot[mode]
+        fleet = section["fleet"]
+        coroutine = section["coroutine"]
+        for leg in (fleet, coroutine):
+            print(f"  {leg['mode']:<10}: {leg['subscribers']:>9,} subs x "
+                  f"{leg['sim_duration']:g}s sim in {leg['wall_seconds']}s "
+                  f"wall  ({leg['subscriber_sim_seconds_per_wall_sec']:,} "
+                  f"sub-sim-s/s, {leg['events_per_sec']:,} events/s, "
+                  f"peak RSS {leg['peak_rss_kb'] / 1024:.0f} MB)")
+        print(f"  speedup    : {section['speedup_vs_coroutine']}x "
+              f"subscriber-rate vs all-coroutine")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as fh:
+            committed = json.load(fh)
+        failures = []
+        for mode in modes:
+            failures.extend(check(snapshot, committed, mode))
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check green vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

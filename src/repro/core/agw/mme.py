@@ -112,6 +112,8 @@ class AccessManagement:
         self._ue_ids = itertools.count(1)
         self._by_mme_ue_id: Dict[int, MmeUeContext] = {}
         self._by_imsi: Dict[str, MmeUeContext] = {}
+        # Fractional attach-capacity carry for the aggregated fleet path.
+        self._fleet_attach_credit = 0.0
         self.stats = {"attach_requests": 0, "attach_accepted": 0,
                       "attach_rejected": 0, "auth_failures": 0,
                       "detaches": 0, "registered": 0,
@@ -193,6 +195,54 @@ class AccessManagement:
         """MME congestion control: too much control-plane work queued."""
         return (self.context.cpu.queue_depth(CPU_CLASS_CONTROL) >=
                 self.context.config.mme_max_pending)
+
+    # -- aggregated fleet entry point (workloads.fleet) --------------------------------
+
+    def bulk_attach(self, n: int, dt: float) -> int:
+        """Admit up to ``n`` cohort-aggregated attaches spanning ``dt`` s.
+
+        The fleet abstraction batches an entire tick's attach arrivals into
+        one call instead of ``n`` per-UE NAS dialogues.  Admission follows
+        the same calibrated capacity the coroutine path saturates at: the
+        hardware attach rate (DESIGN.md §5) accrues as a credit bank
+        (capped at one tick, so an idle MME cannot absorb an unbounded
+        burst), and the admitted work is charged to the control-plane CPU
+        class as fluid demand so utilization telemetry sees the load.
+        Rejects count as congestion drops, exactly as the per-UE overload
+        path accounts them.  Returns the number admitted.
+        """
+        if n < 0:
+            raise ValueError(f"bulk_attach needs n >= 0, got {n}")
+        if dt <= 0:
+            raise ValueError(f"bulk_attach needs dt > 0, got {dt}")
+        self.stats["attach_requests"] += n
+        hardware = self.context.config.hardware
+        per_tick = hardware.attach_capacity_per_sec() * dt
+        credit = min(self._fleet_attach_credit + per_tick, per_tick)
+        accepted = min(n, int(credit))
+        self._fleet_attach_credit = credit - accepted
+        rejected = n - accepted
+        if accepted:
+            self.stats["attach_accepted"] += accepted
+            self.sessiond.bulk_create_fleet(accepted)
+        if rejected:
+            self.stats["attach_rejected"] += rejected
+            self.stats["overload_drops"] += rejected
+        # Fluid control-plane demand for this tick: admitted attach work
+        # spread over the tick.  Refreshed (or zeroed) every tick by the
+        # fleet, so it never outlives the workload.
+        self.context.cpu.set_fluid_demand(
+            CPU_CLASS_CONTROL, "fleet-attach",
+            accepted * hardware.attach_cpu_cost / dt)
+        return accepted
+
+    def bulk_detach(self, n: int) -> int:
+        """Aggregated fleet detaches; returns how many sessions ended."""
+        if n < 0:
+            raise ValueError(f"bulk_detach needs n >= 0, got {n}")
+        ended = self.sessiond.bulk_terminate_fleet(n)
+        self.stats["detaches"] += ended
+        return ended
 
     # -- attach pipeline ----------------------------------------------------------------
 

@@ -75,6 +75,8 @@ class Pipelined:
         # When a batch transaction is open, mods queue here instead of
         # hitting the switch; commit applies them as one FlowBundle.
         self._pending: Optional[List[Any]] = None
+        # Aggregated fleet user-plane load (set_fleet_load), in Mbps.
+        self._fleet_offered_mbps = 0.0
         self.stats = {"sessions_installed": 0, "sessions_removed": 0,
                       "rate_changes": 0, "batches": 0}
 
@@ -265,6 +267,25 @@ class Pipelined:
         reply = self.switch.apply(StatsRequest(cookie=imsi))
         return max((entry.bytes for entry in reply.entries), default=0)
 
+    # -- aggregated fleet user plane (workloads.fleet) ------------------------------
+
+    def set_fleet_load(self, offered_mbps: float) -> None:
+        """Offered downlink of the cohort-aggregated population, as one
+        fluid demand instead of per-UE meters.  The CPU model polices it
+        (max-min against control-plane work, DESIGN.md §5), and the gauge
+        rides the normal datapath-metrics export so check-in telemetry
+        carries the fleet's user-plane load."""
+        if offered_mbps < 0:
+            raise ValueError(f"fleet load must be >= 0, got {offered_mbps}")
+        self._fleet_offered_mbps = offered_mbps
+        cost = self.context.config.hardware.up_cost_per_mbps
+        self.context.cpu.set_fluid_demand("up", "fleet", offered_mbps * cost)
+
+    def fleet_served_mbps(self) -> float:
+        """Fleet offered load scaled by the served fraction last quantum."""
+        return (self._fleet_offered_mbps *
+                self.context.cpu.fluid_service_fraction("up"))
+
     # -- lookup-stack observability -----------------------------------------------
 
     def datapath_stats(self) -> Dict[str, Any]:
@@ -291,6 +312,9 @@ class Pipelined:
                           sum(t["subtables"] for t in dp["tables"]))
         monitor.set_gauge("dp_residue_rules",
                           sum(t["residue_rules"] for t in dp["tables"]))
+        if self._fleet_offered_mbps:
+            monitor.set_gauge("dp_fleet_offered_mbps",
+                              self._fleet_offered_mbps)
 
     def _require(self, imsi: str) -> SessionFlows:
         flows = self._sessions.get(imsi)

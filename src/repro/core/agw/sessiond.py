@@ -136,6 +136,12 @@ class Sessiond:
         self._teids = TeidAllocator(start=0x1000)
         self._next_session_num = 1
         self._sessions: Dict[str, SessionRecord] = {}
+        # Cohort-aggregated fleet sessions (workloads.fleet): a count, not
+        # per-IMSI records.  Folded into session_count()/telemetry so an
+        # aggregated population looks like real load everywhere above this
+        # layer; deliberately excluded from checkpoints — it is synthetic
+        # workload state owned by the fleet, re-injected on the next tick.
+        self.fleet_sessions = 0
         # Inter-AGW hand-off: contexts staged by the S10 endpoint, consumed
         # by the next create_session for that IMSI.
         self._staged_transfers: Dict[str, Any] = {}
@@ -372,6 +378,24 @@ class Sessiond:
 
     # -- introspection -----------------------------------------------------------------------
 
+    # -- aggregated fleet sessions (workloads.fleet) ---------------------------------
+
+    def bulk_create_fleet(self, n: int) -> None:
+        """Account ``n`` cohort-aggregated sessions created this tick."""
+        if n < 0:
+            raise ValueError(f"bulk_create_fleet needs n >= 0, got {n}")
+        self.fleet_sessions += n
+        self.stats["created"] += n
+
+    def bulk_terminate_fleet(self, n: int) -> int:
+        """End up to ``n`` aggregated sessions; returns how many existed."""
+        if n < 0:
+            raise ValueError(f"bulk_terminate_fleet needs n >= 0, got {n}")
+        ended = min(n, self.fleet_sessions)
+        self.fleet_sessions -= ended
+        self.stats["terminated"] += ended
+        return ended
+
     def session(self, imsi: str) -> Optional[SessionRecord]:
         return self._sessions.get(imsi)
 
@@ -379,7 +403,8 @@ class Sessiond:
         return list(self._sessions.values())
 
     def session_count(self) -> int:
-        return len(self._sessions)
+        """Active sessions: per-IMSI records plus aggregated fleet sessions."""
+        return len(self._sessions) + self.fleet_sessions
 
     def allowed_rate(self, imsi: str) -> float:
         record = self._sessions.get(imsi)

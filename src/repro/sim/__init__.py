@@ -18,6 +18,7 @@ from .kernel import (
     AnyOf,
     Event,
     Interrupted,
+    PeriodicCall,
     Process,
     ScheduledCall,
     SimulationError,
@@ -36,6 +37,7 @@ __all__ = [
     "Event",
     "Interrupted",
     "Monitor",
+    "PeriodicCall",
     "Process",
     "Resource",
     "RngRegistry",

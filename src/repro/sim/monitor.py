@@ -14,14 +14,42 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class Series:
-    """An append-only (time, value) series with simple analytics."""
+    """An append-only (time, value) series with simple analytics.
 
-    __slots__ = ("name", "times", "values")
+    Two recording modes:
 
-    def __init__(self, name: str):
+    - **Exact** (default, ``max_samples=None``): every sample is retained,
+      as before.
+    - **Streaming** (``max_samples=N``): scalar aggregates (count, sum,
+      min, max, last) stay exact, but the retained ``(time, value)`` buffer
+      is bounded at ``N`` samples by deterministic stride decimation — when
+      the buffer fills, every other retained sample is dropped and the
+      keep-stride doubles.  At fleet scale (10⁶ samples per metric) the
+      unbounded lists are the memory bill; the decimated buffer keeps
+      percentiles/binning usable (a uniform-in-index subsample) while
+      ``mean``/``total``/``max``/``last``/``count`` remain exact.  No RNG
+      is involved, so replay determinism is untouched.
+    """
+
+    __slots__ = ("name", "times", "values", "max_samples", "_stride",
+                 "_phase", "_count", "_sum", "_min", "_max", "_last_t",
+                 "_last_v")
+
+    def __init__(self, name: str, max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 2:
+            raise ValueError("max_samples must be >= 2 (or None for exact)")
         self.name = name
         self.times: List[float] = []
         self.values: List[float] = []
+        self.max_samples = max_samples
+        self._stride = 1      # keep every _stride-th sample when bounded
+        self._phase = 0       # samples seen since the last retained one
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._last_t = 0.0
+        self._last_v = 0.0
 
     def record(self, t: float, value: float) -> None:
         """Append a sample at time ``t``.
@@ -31,10 +59,43 @@ class Series:
         same ``sim.now``) and preserve insertion order.  Only a strictly
         backwards ``t`` raises.
         """
-        if self.times and t < self.times[-1]:
-            raise ValueError(f"series {self.name!r}: time went backwards ({t} < {self.times[-1]})")
-        self.times.append(t)
-        self.values.append(value)
+        if self._count and t < self._last_t:
+            raise ValueError(f"series {self.name!r}: time went backwards ({t} < {self._last_t})")
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._last_t = t
+        self._last_v = value
+        if self.max_samples is None:
+            self.times.append(t)
+            self.values.append(value)
+            return
+        # Streaming mode: retain every _stride-th sample; on overflow halve
+        # the buffer and double the stride, so retention stays uniform in
+        # sample index and the buffer oscillates in [N/2, N].
+        if self._phase == 0:
+            self.times.append(t)
+            self.values.append(value)
+            if len(self.times) >= self.max_samples:
+                del self.times[1::2]
+                del self.values[1::2]
+                self._stride *= 2
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+
+    @property
+    def count(self) -> int:
+        """Exact number of recorded samples (retained or not)."""
+        return self._count
+
+    @property
+    def retained(self) -> int:
+        """Samples physically held in the buffer (== count when exact)."""
+        return len(self.times)
 
     def __len__(self) -> int:
         return len(self.times)
@@ -43,22 +104,27 @@ class Series:
         return iter(zip(self.times, self.values))
 
     def mean(self) -> float:
-        if not self.values:
+        if not self._count:
             raise ValueError(f"series {self.name!r} is empty")
-        return sum(self.values) / len(self.values)
+        return self._sum / self._count
 
     def total(self) -> float:
-        return sum(self.values)
+        return self._sum
 
     def max(self) -> float:
-        if not self.values:
+        if not self._count:
             raise ValueError(f"series {self.name!r} is empty")
-        return max(self.values)
+        return self._max
+
+    def min(self) -> float:
+        if not self._count:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self._min
 
     def last(self) -> float:
-        if not self.values:
+        if not self._count:
             raise ValueError(f"series {self.name!r} is empty")
-        return self.values[-1]
+        return self._last_v
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile of the values, q in [0, 100]."""
@@ -70,12 +136,12 @@ class Series:
         return self.percentile(50.0)
 
     def between(self, t0: float, t1: float) -> "Series":
-        """Sub-series with t0 <= time < t1."""
+        """Sub-series with t0 <= time < t1 (over retained samples)."""
         lo = bisect.bisect_left(self.times, t0)
         hi = bisect.bisect_left(self.times, t1)
         sub = Series(self.name)
-        sub.times = self.times[lo:hi]
-        sub.values = self.values[lo:hi]
+        for t, v in zip(self.times[lo:hi], self.values[lo:hi]):
+            sub.record(t, v)
         return sub
 
     def binned(self, width: float, t0: float = 0.0, t1: Optional[float] = None,
@@ -171,6 +237,26 @@ class Monitor:
         if s is None:
             s = Series(name)
             self._series[name] = s
+        return s
+
+    def bounded_series(self, name: str, max_samples: int = 4096) -> Series:
+        """The named series in streaming mode (bounded sample buffer).
+
+        Fleet-scale metrics record 10⁶+ samples; this keeps scalar
+        aggregates exact while capping the retained buffer (see
+        :class:`Series`).  The mode is fixed at first creation: asking for
+        a bound on an existing exact series (or a different bound) raises,
+        because silently dropping already-retained samples would corrupt
+        the series' contract mid-run.
+        """
+        s = self._series.get(name)
+        if s is None:
+            s = Series(name, max_samples=max_samples)
+            self._series[name] = s
+        elif s.max_samples != max_samples:
+            raise ValueError(
+                f"series {name!r} already exists with max_samples="
+                f"{s.max_samples}, asked for {max_samples}")
         return s
 
     def record(self, name: str, t: float, value: float) -> None:

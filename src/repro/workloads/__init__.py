@@ -1,6 +1,7 @@
-"""Workload generators: attach storms, traffic, IoT, diurnal usage."""
+"""Workload generators: attach storms, fleets, traffic, IoT, diurnal usage."""
 
 from .attach_storm import AttachRecord, AttachStorm
+from .fleet import AgwFleetAdapter, CohortSpec, UeFleet, binomial
 from .diurnal import (
     DiurnalConfig,
     HourSample,
@@ -13,14 +14,18 @@ from .iot import IotWorkload
 from .traffic import TrafficEngine
 
 __all__ = [
+    "AgwFleetAdapter",
     "AttachRecord",
     "AttachStorm",
+    "CohortSpec",
     "DEFAULT_RATE_MBPS",
     "DiurnalConfig",
     "HourSample",
     "HttpDownload",
     "IotWorkload",
     "TrafficEngine",
+    "UeFleet",
+    "binomial",
     "diurnal_factor",
     "generate_trace",
     "start_streaming",

@@ -34,11 +34,14 @@ class AttachStorm:
                  offered_mbps_after_attach: float = 0.0,
                  monitor: Optional[Monitor] = None,
                  on_attached: Optional[Callable[[Ue], None]] = None,
-                 retries: int = 0, retry_delay: float = 3.0):
+                 retries: int = 0, retry_delay: float = 3.0,
+                 summary_only: bool = False, summary_bin_width: float = 5.0):
         if rate_per_sec <= 0:
             raise ValueError("attach rate must be positive")
         if retries < 0 or retry_delay <= 0:
             raise ValueError("retries must be >= 0 and delay positive")
+        if summary_bin_width <= 0:
+            raise ValueError("summary bin width must be positive")
         self.sim = sim
         self.ues = ues
         self.rate = rate_per_sec
@@ -47,21 +50,42 @@ class AttachStorm:
         self.on_attached = on_attached
         self.retries = retries
         self.retry_delay = retry_delay
+        # Summary mode (fleet-scale storms): per-attempt AttachRecord
+        # objects and the per-UE outcome dict grow O(attempts); with 10⁵+
+        # UEs they are the storm's memory bill.  summary_only keeps exact
+        # counters and fixed-width CSR bins instead — csr_bins() then only
+        # answers for the configured width.
+        self.summary_only = summary_only
+        self.summary_bin_width = summary_bin_width
         self.records: List[AttachRecord] = []
         self.ue_outcomes: dict = {}   # imsi -> final success (after retries)
         self.done = sim.event("attach-storm-done")
         self._outstanding = 0
         self._launched = 0
         self._attempts_left: dict = {}
+        self._attempts = 0
+        self._successes = 0
+        self._ue_final_ok = 0
+        self._ue_final_total = 0
+        self._bin_totals: dict = {}     # bin index -> attempts started there
+        self._bin_successes: dict = {}
+        self._next_index = 0
 
     def start(self) -> None:
-        self.sim.spawn(self._launcher(), name="attach-storm")
+        """Begin launching; rides the kernel's zero-allocation callback
+        path (``call_later``) instead of a coroutine + per-launch Timeout,
+        so a 10⁵-UE storm schedules one recycled entry per launch."""
+        if self.ues:
+            self.sim.call_later(0.0, self._launch_next)
+        elif not self.done.triggered:
+            self.done.succeed(self.records)
 
-    def _launcher(self):
-        interval = 1.0 / self.rate
-        for ue in self.ues:
-            self._launch(ue)
-            yield self.sim.timeout(interval)
+    def _launch_next(self) -> None:
+        ue = self.ues[self._next_index]
+        self._next_index += 1
+        self._launch(ue)
+        if self._next_index < len(self.ues):
+            self.sim.call_later(1.0 / self.rate, self._launch_next)
 
     def _launch(self, ue: Ue, first: bool = True) -> None:
         if first:
@@ -76,11 +100,19 @@ class AttachStorm:
             lambda ev: self._on_done(ue, started, ev.value))
 
     def _on_done(self, ue: Ue, started: float, outcome: AttachOutcome) -> None:
-        record = AttachRecord(imsi=ue.imsi, started_at=started,
-                              finished_at=self.sim.now,
-                              success=outcome.success,
-                              latency=outcome.latency, cause=outcome.cause)
-        self.records.append(record)
+        self._attempts += 1
+        if outcome.success:
+            self._successes += 1
+        bin_index = int(started / self.summary_bin_width)
+        self._bin_totals[bin_index] = self._bin_totals.get(bin_index, 0) + 1
+        if outcome.success:
+            self._bin_successes[bin_index] = \
+                self._bin_successes.get(bin_index, 0) + 1
+        if not self.summary_only:
+            self.records.append(AttachRecord(
+                imsi=ue.imsi, started_at=started, finished_at=self.sim.now,
+                success=outcome.success, latency=outcome.latency,
+                cause=outcome.cause))
         if self.monitor is not None:
             self.monitor.record("attach.outcome", self.sim.now,
                                 1.0 if outcome.success else 0.0)
@@ -90,11 +122,17 @@ class AttachStorm:
         if not outcome.success and self._attempts_left.get(ue.imsi, 0) > 0:
             # The UE retries after T3411-style backoff (still one UE; each
             # attempt is its own CSR data point, as the paper counts them).
+            # Retry timers are never revoked, so take the recycled path.
             self._attempts_left[ue.imsi] -= 1
-            self.sim.schedule(self.retry_delay, self._launch, ue, False)
+            self.sim.call_later(self.retry_delay, self._launch, ue, False)
             return
         self._outstanding -= 1
-        self.ue_outcomes[ue.imsi] = outcome.success
+        self._attempts_left.pop(ue.imsi, None)
+        self._ue_final_total += 1
+        if outcome.success:
+            self._ue_final_ok += 1
+        if not self.summary_only:
+            self.ue_outcomes[ue.imsi] = outcome.success
         if outcome.success and self.on_attached is not None:
             self.on_attached(ue)
         if self._launched == len(self.ues) and self._outstanding == 0 \
@@ -104,26 +142,38 @@ class AttachStorm:
     # -- metrics -------------------------------------------------------------------
 
     def success_count(self) -> int:
-        return sum(1 for r in self.records if r.success)
+        return self._successes
+
+    def attempt_count(self) -> int:
+        return self._attempts
 
     def ue_success_fraction(self) -> float:
         """Fraction of UEs that ended up attached (after retries)."""
-        if not self.ue_outcomes:
+        if not self._ue_final_total:
             raise ValueError("no attach attempts recorded")
-        return (sum(1 for ok in self.ue_outcomes.values() if ok) /
-                len(self.ue_outcomes))
+        return self._ue_final_ok / self._ue_final_total
 
     def overall_csr(self) -> float:
-        if not self.records:
+        if not self._attempts:
             raise ValueError("no attach attempts recorded")
-        return self.success_count() / len(self.records)
+        return self._successes / self._attempts
 
     def csr_bins(self, width: float = 5.0) -> List[tuple]:
         """Connection success rate per time bin, the Fig. 6 metric.
 
         Binned by *attempt start time*; returns [(bin_start, csr), ...]
-        skipping empty bins.
+        skipping empty bins.  In summary mode only the configured
+        ``summary_bin_width`` is answerable (per-attempt records are not
+        retained); other widths raise.
         """
+        if width == self.summary_bin_width:
+            return [(i * width,
+                     self._bin_successes.get(i, 0) / self._bin_totals[i])
+                    for i in sorted(self._bin_totals)]
+        if self.summary_only:
+            raise ValueError(
+                f"summary-mode storm binned at {self.summary_bin_width}s; "
+                f"csr_bins({width}) needs per-attempt records")
         if not self.records:
             return []
         t_end = max(r.started_at for r in self.records) + width
