@@ -17,6 +17,11 @@ that ordinary linters cannot see:
   CRUD deltas on replicated stores are the anti-pattern the paper rejects.
 - **Failure hygiene**: broad ``except`` clauses need a stated reason, or
   they hide the very session errors the fault-domain analysis measures.
+- **Interleaving safety** (REPRO6xx): every kernel timer handle must be
+  revoked on all paths out of its scope, and no read-modify-write on
+  shared state may straddle a yield point — dataflow rules over a
+  per-function CFG (:mod:`repro.analysis.cfg`), with the SimSan runtime
+  sanitizer (:mod:`repro.sim.sansim`) checking the same discipline live.
 
 Each invariant is a pluggable AST rule (see :mod:`repro.analysis.rules`).
 Run the pass with ``python -m repro.analysis src``; suppress individual
@@ -25,6 +30,7 @@ a ``--baseline`` file.
 """
 
 from .core import (  # noqa: F401  (public API re-exports)
+    AnalysisCache,
     Baseline,
     FileContext,
     Finding,

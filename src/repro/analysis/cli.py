@@ -13,7 +13,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from .core import Baseline, Finding, all_rules, analyze_paths
+from .core import AnalysisCache, Baseline, Finding, all_rules, analyze_paths
 
 #: Auto-loaded from the working directory when --baseline is not given.
 DEFAULT_BASELINE = "reprolint-baseline.json"
@@ -40,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", metavar="FILE",
                         help="write current findings to FILE as a baseline "
                              "and exit 0")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="analyze files with N worker processes "
+                             "(0 = one per CPU; default: 1)")
+    parser.add_argument("--cache", metavar="FILE",
+                        help="persist a content-hash findings cache to "
+                             "FILE; unchanged files skip parse and rules")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule names to run "
                              "(default: all)")
@@ -89,11 +95,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"reprolint: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = AnalysisCache(args.cache) if args.cache else None
     try:
-        findings, parse_errors, file_count = analyze_paths(args.paths, rules)
+        findings, parse_errors, file_count = analyze_paths(
+            args.paths, rules, jobs=jobs, cache=cache)
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
+    if cache is not None:
+        cache.save()
 
     if args.write_baseline:
         Baseline.write(args.write_baseline, findings)

@@ -18,11 +18,22 @@ Suppression layers (most local wins):
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
+import multiprocessing
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
@@ -166,6 +177,24 @@ class Baseline:
 
     @staticmethod
     def write(path: str, findings: Sequence[Finding]) -> None:
+        """Write (or refresh) a baseline from the current findings.
+
+        Refreshing an existing file preserves hand-edited ``reason``
+        fields for fingerprints that still occur, carries forward prior
+        entries the current run did not reproduce (e.g. rules excluded by
+        ``--select``), and prunes entries whose source file no longer
+        exists — deleted or renamed files used to leave their
+        suppressions behind forever.  Run from the same directory the
+        baseline's paths are relative to (normally the repo root).
+        """
+        existing: List[Dict[str, str]] = []
+        if Path(path).exists():
+            try:
+                existing = Baseline.load(path).entries
+            except (OSError, ValueError, json.JSONDecodeError):
+                existing = []
+        reasons = {(e["rule"], e["path"], e["message"]): e.get("reason", "")
+                   for e in existing}
         entries = []
         seen = set()
         for finding in findings:
@@ -174,8 +203,16 @@ class Baseline:
             if key in seen:
                 continue
             seen.add(key)
-            fp["reason"] = "TODO: justify or fix"
+            fp["reason"] = reasons.get(key) or "TODO: justify or fix"
             entries.append(fp)
+        for entry in existing:
+            key = (entry["rule"], entry["path"], entry["message"])
+            if key in seen:
+                continue
+            if not Path(entry["path"]).exists():
+                continue  # stale: the file was deleted or renamed
+            seen.add(key)
+            entries.append(dict(entry))
         payload = {"version": 1, "suppressions": entries}
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -196,6 +233,80 @@ class Baseline:
     def unused_entries(self) -> List[Dict[str, str]]:
         return [entry for entry, used in zip(self.entries, self._used)
                 if not used]
+
+
+# -- findings cache --------------------------------------------------------------------
+
+
+class AnalysisCache:
+    """Persistent per-file analysis cache keyed by source content hash.
+
+    The key is ``sha256(rule-key || source)`` where the rule key encodes
+    which rules ran, so a cache survives across runs and branches: only
+    files whose bytes changed (or runs with a different rule selection)
+    are re-parsed and re-analyzed.  The cached value is the full analysis
+    result — findings plus any parse error — which subsumes caching the
+    AST itself: on a hit neither :func:`ast.parse` nor any rule runs.
+
+    Cached findings are re-homed onto the current display path on read,
+    so renaming a file (same content) still reports the new path.  Bump
+    :data:`VERSION` whenever a rule's semantics change; it participates
+    in the on-disk envelope and stale caches are silently discarded.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path and Path(path).exists():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if data.get("version") == self.VERSION:
+                    self.entries = data.get("entries", {})
+            except (OSError, ValueError, json.JSONDecodeError):
+                self.entries = {}
+
+    @staticmethod
+    def rule_key(rules: Sequence[Rule]) -> str:
+        return ",".join(sorted(rule.code for rule in rules))
+
+    @staticmethod
+    def digest(rule_key: str, source: str) -> str:
+        blob = rule_key.encode("utf-8") + b"\0" + source.encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def get(self, digest: str, shown: str):
+        """Return ``(findings, parse_error)`` for a hit, else ``None``."""
+        entry = self.entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding(**{**raw, "path": shown})  # type: ignore[arg-type]
+                    for raw in entry.get("findings", [])]
+        error = entry.get("parse_error")
+        if error is not None:
+            error = {"path": shown, "message": error["message"]}
+        return findings, error
+
+    def put(self, digest: str, findings: Sequence[Finding],
+            parse_error: Optional[Dict[str, str]]) -> None:
+        self.entries[digest] = {
+            "findings": [finding.to_dict() for finding in findings],
+            "parse_error": parse_error,
+        }
+
+    def save(self) -> None:
+        if not self.path:
+            return
+        payload = {"version": self.VERSION, "entries": self.entries}
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
 
 
 # -- drivers ---------------------------------------------------------------------------
@@ -237,23 +348,78 @@ def display_path(path: Path) -> str:
         return path.as_posix()
 
 
+# Worker-process state for the multiprocessing pool: rules are pickled
+# once per worker (via the initializer) instead of once per file.
+_WORKER_RULES: Optional[List[Rule]] = None
+
+
+def _pool_init(rules: List[Rule]) -> None:
+    global _WORKER_RULES
+    _WORKER_RULES = rules
+
+
+def _pool_analyze(task: Tuple[int, str, str]):
+    """Analyze one pre-read source blob; runs inside a pool worker."""
+    index, shown, source = task
+    assert _WORKER_RULES is not None
+    try:
+        return index, analyze_source(source, shown, _WORKER_RULES), None
+    except SyntaxError as exc:
+        return index, [], {"path": shown, "message": str(exc)}
+
+
 def analyze_paths(paths: Sequence[str],
-                  rules: Optional[Sequence[Rule]] = None):
-    """Analyze files/trees.  Returns (findings, parse_errors, file_count)."""
+                  rules: Optional[Sequence[Rule]] = None,
+                  jobs: int = 1,
+                  cache: Optional[AnalysisCache] = None):
+    """Analyze files/trees.  Returns (findings, parse_errors, file_count).
+
+    ``jobs > 1`` fans the per-file work (parse + every rule) out over a
+    ``multiprocessing`` pool; files are read in the parent so results
+    land deterministically regardless of completion order.  ``cache``
+    (an :class:`AnalysisCache`) skips files whose content hash already
+    has a result for this rule selection.
+    """
     rules = list(rules) if rules is not None else all_rules()
+    files = list(iter_python_files(paths))
+    results: Dict[int, Tuple[List[Finding], Optional[Dict[str, str]]]] = {}
+    tasks: List[Tuple[int, str, str]] = []
+    digests: Dict[int, str] = {}
+    rule_key = AnalysisCache.rule_key(rules) if cache is not None else ""
+    for index, path in enumerate(files):
+        shown = display_path(path)
+        source = path.read_text(encoding="utf-8")
+        if cache is not None:
+            digest = AnalysisCache.digest(rule_key, source)
+            hit = cache.get(digest, shown)
+            if hit is not None:
+                results[index] = hit
+                continue
+            digests[index] = digest
+        tasks.append((index, shown, source))
+    if jobs > 1 and len(tasks) > 1:
+        workers = min(jobs, len(tasks))
+        with multiprocessing.Pool(workers, initializer=_pool_init,
+                                  initargs=(rules,)) as pool:
+            for index, found, error in pool.imap_unordered(
+                    _pool_analyze, tasks, chunksize=4):
+                results[index] = (found, error)
+    else:
+        _pool_init(rules)
+        for task in tasks:
+            index, found, error = _pool_analyze(task)
+            results[index] = (found, error)
     findings: List[Finding] = []
     parse_errors: List[Dict[str, str]] = []
-    file_count = 0
-    for path in iter_python_files(paths):
-        file_count += 1
-        shown = display_path(path)
-        try:
-            source = path.read_text(encoding="utf-8")
-            findings.extend(analyze_source(source, shown, rules))
-        except SyntaxError as exc:
-            parse_errors.append({"path": shown, "message": str(exc)})
+    for index in range(len(files)):
+        found, error = results[index]
+        findings.extend(found)
+        if error is not None:
+            parse_errors.append(error)
+        if cache is not None and index in digests:
+            cache.put(digests[index], found, error)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return findings, parse_errors, file_count
+    return findings, parse_errors, len(files)
 
 
 # -- shared AST helpers ----------------------------------------------------------------
@@ -295,7 +461,7 @@ def is_generator(func: ast.AST) -> bool:
 
 
 __all__ = [
-    "Baseline", "FileContext", "Finding", "Rule", "all_rules",
-    "analyze_paths", "analyze_source", "dotted_name", "is_generator",
-    "iter_python_files", "register", "walk_own_scope",
+    "AnalysisCache", "Baseline", "FileContext", "Finding", "Rule",
+    "all_rules", "analyze_paths", "analyze_source", "dotted_name",
+    "is_generator", "iter_python_files", "register", "walk_own_scope",
 ]

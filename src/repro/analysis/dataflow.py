@@ -1,0 +1,107 @@
+"""Worklist dataflow solvers over :mod:`repro.analysis.cfg` graphs.
+
+Two entry points cover the REPRO6xx rule families:
+
+- :func:`solve_forward` — a classic iterative may/must solver with
+  set-valued facts, used by the yield-atomicity rule (forward, union
+  meet: "which locals hold a pre-yield snapshot of a shared attribute").
+- :func:`must_reach` — the specialised backward boolean analysis behind
+  the timer-leak rule: *does every path from this node to function exit
+  pass through a covering node before any killing node?*  It computes the
+  greatest fixpoint (start optimistic, shrink), which is the standard
+  formulation for a must-property over graphs with cycles: a loop that
+  never decides is treated as covered only if every way out of it is.
+
+Both operate purely on node indices so rules stay in charge of what a
+"fact" means; the solvers never look at the AST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from .cfg import Cfg, CfgNode
+
+__all__ = ["must_reach", "solve_forward"]
+
+
+def must_reach(cfg: Cfg, start: int,
+               covers: Callable[[CfgNode], bool],
+               kills: Callable[[CfgNode], bool]) -> bool:
+    """True iff every path from ``start``'s successors to exit hits a node
+    where ``covers`` holds, before any node where ``kills`` holds.
+
+    ``covers`` nodes terminate a path successfully (the obligation is met
+    there); ``kills`` nodes terminate it unsuccessfully (the tracked value
+    is gone, the obligation can no longer be met); reaching exit without
+    either is likewise a failure.
+    """
+    nodes = cfg.nodes
+    # Optimistic initialisation: everything covered except exit; iterate
+    # downwards to the greatest fixpoint.
+    covered = [True] * len(nodes)
+    covered[Cfg.EXIT] = False
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            index = node.index
+            if index == Cfg.EXIT:
+                continue
+            if covers(node):
+                continue  # stays True
+            if kills(node):
+                value = False
+            elif node.succ:
+                value = True
+                for succ in node.succ:
+                    if not covered[succ]:
+                        value = False
+                        break
+            else:
+                # Dangling node (unreachable continuation): vacuously fine.
+                value = True
+            if value != covered[index]:
+                covered[index] = value
+                changed = True
+    start_node = nodes[start]
+    if not start_node.succ:
+        return False
+    return all(covered[succ] for succ in start_node.succ)
+
+
+Facts = FrozenSet[tuple]
+
+
+def solve_forward(cfg: Cfg,
+                  transfer: Callable[[CfgNode, Facts], Facts],
+                  initial: Facts = frozenset()) -> Dict[int, Tuple[Facts, Facts]]:
+    """Forward may-analysis with union meet over frozenset facts.
+
+    Returns ``{node_index: (in_facts, out_facts)}``.  ``transfer`` maps a
+    node's in-set to its out-set and must be monotone (only ever add facts
+    or rewrite existing ones to a bounded set of variants) for termination.
+    """
+    nodes = cfg.nodes
+    in_facts: Dict[int, Facts] = {n.index: frozenset() for n in nodes}
+    out_facts: Dict[int, Facts] = {n.index: frozenset() for n in nodes}
+    in_facts[Cfg.ENTRY] = initial
+    out_facts[Cfg.ENTRY] = transfer(nodes[Cfg.ENTRY], initial)
+
+    worklist = [n.index for n in nodes if n.index != Cfg.ENTRY]
+    pending = set(worklist)
+    while worklist:
+        index = worklist.pop(0)
+        pending.discard(index)
+        node = nodes[index]
+        merged = frozenset().union(*(out_facts[p] for p in node.pred)) \
+            if node.pred else frozenset()
+        new_out = transfer(node, merged)
+        if merged != in_facts[index] or new_out != out_facts[index]:
+            in_facts[index] = merged
+            out_facts[index] = new_out
+            for succ in node.succ:
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return {index: (in_facts[index], out_facts[index]) for index in in_facts}

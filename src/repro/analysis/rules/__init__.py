@@ -1,3 +1,4 @@
 """Rule modules.  Importing this package registers every rule."""
 
-from . import blocking, checkpoint, determinism, excepts, statesync  # noqa: F401
+from . import (atomicity, blocking, checkpoint, determinism, excepts,  # noqa: F401
+               statesync, timers)  # noqa: F401

@@ -1,0 +1,211 @@
+"""yield-point-atomicity: no read-modify-write across a yield.
+
+A kernel coroutine owns the interpreter between yield points — but at a
+yield, *anything* can run: other processes mutate the same gateway
+stores, interrupts fire, RPC responses land.  The PR 1/PR 3 checkpoint
+bugs were this shape: a value read from shared state before an await was
+written back after it, silently undoing whatever ran in between.
+
+The rule runs a forward may-analysis over the function CFG.  A fact is a
+triple ``(local, attr_chain, crossed)``:
+
+- **gen** — ``v = self.attr[.chain]`` binds a snapshot: ``(v, chain,
+  False)``;
+- **yield** — every live fact becomes ``crossed=True``: the snapshot is
+  now *stale*, the store may have moved;
+- **kill** — rebinding ``v`` drops its facts (re-reading ``v =
+  self.attr`` after the yield is therefore the blessed fix: it generates
+  a fresh, uncrossed fact);
+- **guard** — a branch test that compares the stale local against a
+  fresh read of the same attribute (``if self.attr != v: return``)
+  un-stales the fact: the author is explicitly validating the snapshot;
+- **report** — ``self.attr = <expr using v>`` where ``(v, "self.attr",
+  True)`` is live: the write publishes a pre-yield snapshot.
+
+Augmented assignment (``self.attr += d``) re-reads the attribute at
+write time, so it is atomic with respect to the store and never
+reported.  Only generator/async functions are analysed — straight-line
+callbacks cannot be preempted by the kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set, Tuple
+
+from ..cfg import CfgNode, build_cfg
+from ..core import (FileContext, Finding, Rule, dotted_name, is_generator,
+                    register)
+from ..dataflow import solve_forward
+
+Fact = Tuple[str, str, bool]  # (local, attr_chain, crossed_yield)
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """``self.a.b`` -> "self.a.b" for pure attribute chains on self."""
+    name = dotted_name(node)
+    if name is not None and name.startswith("self.") and name.count(".") >= 1:
+        return name
+    return None
+
+
+def _own_walk(root: ast.AST) -> Iterator[ast.AST]:
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _names_read(expr: ast.AST) -> Set[str]:
+    return {n.id for n in _own_walk(expr)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+
+
+def _stores(node: CfgNode) -> Set[str]:
+    """Local names (re)bound at this node."""
+    stmt = node.stmt
+    bound: Set[str] = set()
+    if stmt is None:
+        return bound
+    if node.kind == "test":
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bound.update(n.id for n in ast.walk(stmt.target)
+                         if isinstance(n, ast.Name))
+        return bound
+    if node.kind == "except":
+        if isinstance(stmt, ast.ExceptHandler) and stmt.name:
+            bound.add(stmt.name)
+        return bound
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            bound.update(n.id for n in ast.walk(target)
+                         if isinstance(n, ast.Name)
+                         and isinstance(n.ctx, ast.Store))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(stmt.target, ast.Name):
+            bound.add(stmt.target.id)
+    elif isinstance(stmt, ast.Delete):
+        bound.update(n.id for n in stmt.targets if isinstance(n, ast.Name))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                bound.update(n.id for n in ast.walk(item.optional_vars)
+                             if isinstance(n, ast.Name))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.NamedExpr):
+        if isinstance(stmt.value.target, ast.Name):
+            bound.add(stmt.value.target.id)
+    return bound
+
+
+def _snapshot_bind(node: CfgNode) -> Optional[Tuple[str, str]]:
+    """``v = self.attr.chain`` -> (v, chain)."""
+    stmt = node.stmt
+    if node.kind != "stmt" or not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        return None
+    if stmt.value is None:
+        return None
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return None
+        target = stmt.targets[0].id
+    else:
+        if not isinstance(stmt.target, ast.Name):
+            return None
+        target = stmt.target.id
+    chain = _attr_chain(stmt.value)
+    if chain is None:
+        return None
+    return target, chain
+
+
+def _writeback(node: CfgNode) -> Optional[Tuple[str, Set[str]]]:
+    """``self.attr = expr`` -> (chain, names read by expr)."""
+    stmt = node.stmt
+    if node.kind != "stmt" or not isinstance(stmt, ast.Assign):
+        return None
+    if len(stmt.targets) != 1:
+        return None
+    chain = _attr_chain(stmt.targets[0])
+    if chain is None:
+        return None
+    return chain, _names_read(stmt.value)
+
+
+def _guarded(node: CfgNode, facts: FrozenSet[Fact]) -> Set[Tuple[str, str]]:
+    """Facts validated by this branch test: the test reads both the stale
+    local and (freshly) the same attribute chain."""
+    if node.kind != "test" or node.expr is None:
+        return set()
+    reads = _names_read(node.expr)
+    chains = {c for n in _own_walk(node.expr)
+              if isinstance(n, ast.Attribute) and (c := _attr_chain(n))}
+    return {(var, chain) for var, chain, crossed in facts
+            if crossed and var in reads and chain in chains}
+
+
+@register
+class YieldAtomicity(Rule):
+    name = "yield-atomicity"
+    code = "REPRO602"
+    description = ("flag read-modify-write on self.* state that straddles "
+                   "a yield/await without a re-read or a guard")
+    invariant = ("interleaving safety: between yields, anything may run; "
+                 "writing back a pre-yield snapshot undoes concurrent "
+                 "updates (the PR 1/PR 3 checkpoint bug class)")
+    exempt_suffixes = ("sim/kernel.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                pass
+            elif isinstance(func, ast.FunctionDef):
+                if not is_generator(func):
+                    continue
+            else:
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterator[Finding]:
+        cfg = build_cfg(func)
+        if not any(node.is_yield for node in cfg.nodes):
+            return
+
+        def transfer(node: CfgNode, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+            out = set(facts)
+            # Branch-test guards validate stale snapshots.
+            for var, chain in _guarded(node, facts):
+                out.discard((var, chain, True))
+                out.add((var, chain, False))
+            # Rebinding a local drops its snapshots.
+            stored = _stores(node)
+            if stored:
+                out = {f for f in out if f[0] not in stored}
+            bind = _snapshot_bind(node)
+            if bind is not None:
+                out.add((bind[0], bind[1], False))
+            if node.is_yield:
+                out = {(var, chain, True) for var, chain, _ in out}
+            return frozenset(out)
+
+        solution = solve_forward(cfg, transfer)
+        for node in cfg.nodes:
+            wb = _writeback(node)
+            if wb is None:
+                continue
+            chain, reads = wb
+            in_facts = solution[node.index][0]
+            hits = sorted({var for var, fchain, crossed in in_facts
+                           if crossed and fchain == chain and var in reads})
+            for var in hits:
+                yield self.finding(
+                    ctx, node.stmt,
+                    f"write to {chain} uses '{var}', read before a yield "
+                    f"point in '{getattr(func, 'name', '<fn>')}': other "
+                    f"processes may have updated {chain} in between — "
+                    f"re-read it after resuming, guard the write, or use "
+                    f"an augmented assignment")

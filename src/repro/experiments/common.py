@@ -60,10 +60,17 @@ def build_emulated_site(num_enbs: int = 1, num_ues: int = 1,
                         policy_id: str = "default",
                         ocs=None,
                         orchestrator_node: Optional[str] = None,
-                        seed: int = 0) -> EmulatedSite:
-    """Stand up a complete emulated Magma cell site, S1 established."""
-    sim = Simulator()
+                        seed: int = 0,
+                        sanitizer=None) -> EmulatedSite:
+    """Stand up a complete emulated Magma cell site, S1 established.
+
+    ``sanitizer`` (a :class:`repro.sim.SimSan`) arms the runtime sanitizer
+    on the site's kernel and watches its RNG registry.
+    """
+    sim = Simulator(sanitizer=sanitizer)
     rng = RngRegistry(seed)
+    if sanitizer is not None:
+        sanitizer.watch_rng(rng)
     monitor = Monitor()
     network = Network(sim, rng)
     store = CheckpointStore()

@@ -64,7 +64,7 @@ class AgwStub:
         self._last_accepted = 0
         network.add_node(node)
         self._channel = RpcChannel(sim, network, node, orc_node)
-        sim.schedule(offset, self._start)
+        sim.call_later(offset, self._start)
 
     # -- fleet-host protocol ---------------------------------------------------
 
@@ -198,7 +198,7 @@ def run_scaling_point(num_agws: int, checkin_interval: float = 60.0,
         for i in range(provision_burst):
             orc.add_subscriber(SubscriberProfile(imsi=make_imsi(i + 1)))
 
-    sim.schedule(duration / 3, provision)
+    sim.call_later(duration / 3, provision)
     sim.run(until=duration)
     cpu = monitor.series("cpu.orc.util")
     steady = cpu.between(checkin_interval, duration)

@@ -103,7 +103,7 @@ class Gnb:
         if context is None:
             return
         self.stats["uplink_nas"] += 1
-        self.sim.schedule(ue.radio_delay, self._send_uplink, context, message)
+        self.sim.call_later(ue.radio_delay, self._send_uplink, context, message)
 
     def set_ue_offered_rate(self, imsi: str, mbps: float) -> None:
         if self.cell.is_active(imsi):
@@ -138,8 +138,8 @@ class Gnb:
             return {"delivered": False}
         context.amf_ue_id = message.amf_ue_id
         self.stats["downlink_nas"] += 1
-        self.sim.schedule(context.ue.radio_delay,
-                          context.ue.deliver_nas, message.nas)
+        self.sim.call_later(context.ue.radio_delay,
+                            context.ue.deliver_nas, message.nas)
         return {"delivered": True}
 
     def _on_pdu_session_setup(
@@ -156,8 +156,8 @@ class Gnb:
         if context.gnb_teid is None:
             context.gnb_teid = self._teids.allocate()
         if message.nas is not None:
-            self.sim.schedule(context.ue.radio_delay,
-                              context.ue.deliver_nas, message.nas)
+            self.sim.call_later(context.ue.radio_delay,
+                                context.ue.deliver_nas, message.nas)
         return ngap.PduSessionResourceSetupResponse(
             ran_ue_id=message.ran_ue_id, amf_ue_id=message.amf_ue_id,
             pdu_session_id=message.pdu_session_id,
@@ -170,7 +170,7 @@ class Gnb:
             ue = context.ue
             self.rrc_release(ue)
             if message.cause not in ("deregistration",):
-                self.sim.schedule(ue.radio_delay, ue.notify_session_error,
-                                  message.cause)
+                self.sim.call_later(ue.radio_delay, ue.notify_session_error,
+                                    message.cause)
         return ngap.UeContextReleaseComplete5g(
             ran_ue_id=message.ran_ue_id, amf_ue_id=message.amf_ue_id)

@@ -145,8 +145,8 @@ class Enodeb:
         if context is None:
             return  # UE was released; drop silently like a real radio link
         self.stats["uplink_nas"] += 1
-        self.sim.schedule(ue.config.radio_delay, self._send_uplink,
-                          context, message)
+        self.sim.call_later(ue.config.radio_delay, self._send_uplink,
+                            context, message)
 
     def set_ue_offered_rate(self, imsi: str, mbps: float) -> None:
         if self.cell.is_active(imsi):
@@ -184,7 +184,7 @@ class Enodeb:
         ue = self._camped.get(message.imsi)
         if ue is None:
             return {"paged": False}
-        self.sim.schedule(ue.config.radio_delay, ue.on_paged)
+        self.sim.call_later(ue.config.radio_delay, ue.on_paged)
         return {"paged": True}
 
     def handover_in(self, ue: Ue, mme_ue_id: int) -> "Event":
@@ -227,8 +227,8 @@ class Enodeb:
         for context in list(self._by_imsi.values()):
             ue = context.ue
             self.rrc_release(ue)
-            self.sim.schedule(ue.config.radio_delay,
-                              ue.notify_session_error, cause)
+            self.sim.call_later(ue.config.radio_delay,
+                                ue.notify_session_error, cause)
 
     def context_for(self, imsi: str) -> Optional[UeContext]:
         return self._by_imsi.get(imsi)
@@ -259,8 +259,8 @@ class Enodeb:
             return {"delivered": False}
         context.mme_ue_id = message.mme_ue_id
         self.stats["downlink_nas"] += 1
-        self.sim.schedule(context.ue.config.radio_delay,
-                          context.ue.deliver_nas, message.nas)
+        self.sim.call_later(context.ue.config.radio_delay,
+                            context.ue.deliver_nas, message.nas)
         return {"delivered": True}
 
     def _on_initial_context_setup(
@@ -277,8 +277,8 @@ class Enodeb:
         if context.enb_teid is None:
             context.enb_teid = self._teids.allocate()
         if message.nas is not None:
-            self.sim.schedule(context.ue.config.radio_delay,
-                              context.ue.deliver_nas, message.nas)
+            self.sim.call_later(context.ue.config.radio_delay,
+                                context.ue.deliver_nas, message.nas)
         return s1ap.InitialContextSetupResponse(
             enb_ue_id=message.enb_ue_id, mme_ue_id=message.mme_ue_id,
             enb_teid=context.enb_teid, enb_address=self.enb_id, success=True)
@@ -291,7 +291,7 @@ class Enodeb:
             self.rrc_release(ue)
             if message.cause not in ("detach",):
                 # Network-side failure: surface to the UE's baseband.
-                self.sim.schedule(ue.config.radio_delay,
-                                  ue.notify_session_error, message.cause)
+                self.sim.call_later(ue.config.radio_delay,
+                                    ue.notify_session_error, message.cause)
         return s1ap.UeContextReleaseComplete(
             enb_ue_id=message.enb_ue_id, mme_ue_id=message.mme_ue_id)

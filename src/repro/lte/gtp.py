@@ -100,6 +100,10 @@ class GtpcEndpoint:
         self.n3 = n3
         self._seq = itertools.count(1)
         self._pending: Dict[int, Event] = {}
+        # seq -> pending retransmission timer.  Revoked the moment the
+        # response lands (or the request gives up): an un-cancelled T3 timer
+        # rots for up to 3s per exchange and stretches run-until-drain.
+        self._retry: Dict[int, Any] = {}
         self._handlers: Dict[type, Callable[[Any, str], Any]] = {}
         self._path_monitors: Dict[str, bool] = {}  # peer -> active
         self._on_path_failure: Optional[Callable[[str], None]] = None
@@ -129,8 +133,10 @@ class GtpcEndpoint:
 
     def _transmit(self, peer: str, seq: int, request: Any, attempt: int) -> None:
         if seq not in self._pending:
+            self._retry.pop(seq, None)
             return
         if attempt > self.n3:
+            self._retry.pop(seq, None)
             done = self._pending.pop(seq)
             self.stats["timeouts"] += 1
             if not done.triggered:
@@ -140,8 +146,8 @@ class GtpcEndpoint:
         if attempt > 0:
             self.stats["retransmits"] += 1
         self._socket.send(peer, self.port, ("request", seq, request))
-        self.sim.schedule(self.t3, self._transmit, peer, seq, request,
-                          attempt + 1)
+        self._retry[seq] = self.sim.schedule(self.t3, self._transmit, peer,
+                                             seq, request, attempt + 1)
 
     # -- path management (echo) ----------------------------------------------------
 
@@ -189,6 +195,9 @@ class GtpcEndpoint:
                 self._socket.send(src, self.port, ("response", seq, response))
         elif kind == "response":
             done = self._pending.pop(seq, None)
+            timer = self._retry.pop(seq, None)
+            if timer is not None:
+                timer.cancel()
             if done is not None and not done.triggered:
                 self.stats["responses"] += 1
                 done.succeed(body)
@@ -196,3 +205,6 @@ class GtpcEndpoint:
     def close(self) -> None:
         self._socket.close()
         self._path_monitors.clear()
+        for timer in self._retry.values():
+            timer.cancel()
+        self._retry.clear()

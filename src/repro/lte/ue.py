@@ -135,14 +135,12 @@ class Ue:
                 done.succeed(True)
                 return done
             self._detach_done = done
-
-            def guard(sim):
-                yield sim.timeout(5.0)
-                if not done.triggered:
-                    # Never heard back: detach locally anyway (3GPP behaviour).
-                    self._finish_detach()
-
-            self.sim.spawn(guard(self.sim), name=f"detach-guard:{self.imsi}")
+            # Cancelable guard: if the network never answers, detach locally
+            # after 5s (3GPP behaviour).  When DetachAccept wins the race the
+            # timer is revoked instead of rotting for its full window — the
+            # same bug class PR 6 fixed for service-request/attach guards.
+            guard_timer = self.sim.schedule(5.0, self._finish_detach)
+            done.add_callback(lambda ev: guard_timer.cancel())
         return done
 
     def _finish_detach(self) -> None:

@@ -71,6 +71,10 @@ class ReliableChannel:
         self.max_retries = max_retries
         self._send_seq = itertools.count(1)
         self._unacked: Dict[int, Any] = {}
+        # seq -> pending retransmission timer, revoked on ack/give-up/close.
+        # Left alone, every acked message parks a dead timer for up to one
+        # full (exponentially backed-off) RTO.
+        self._retry: Dict[int, Any] = {}
         self._recv_next = 1
         self._recv_buffer: Dict[int, Any] = {}
         self._closed = False
@@ -95,23 +99,29 @@ class ReliableChannel:
     def close(self) -> None:
         self._closed = True
         self.network.unbind(self.local, self.port)
+        for timer in self._retry.values():
+            timer.cancel()
+        self._retry.clear()
 
     # -- internals --------------------------------------------------------------
 
     def _transmit(self, seq: int, payload: Any, size_bits: int,
                   rto: float, attempt: int) -> None:
         if self._closed or seq not in self._unacked:
+            self._retry.pop(seq, None)
             return
         if attempt > 0:
             self.stats["retransmits"] += 1
         if attempt > self.max_retries:
             self.stats["gave_up"] += 1
             del self._unacked[seq]
+            self._retry.pop(seq, None)
             return
         self.network.send(Datagram(self.local, self.peer, self.port,
                                    ("data", seq, payload), size_bits))
-        self.sim.schedule(rto, self._transmit, seq, payload, size_bits,
-                          min(rto * 2, MAX_RTO), attempt + 1)
+        self._retry[seq] = self.sim.schedule(rto, self._transmit, seq, payload,
+                                             size_bits, min(rto * 2, MAX_RTO),
+                                             attempt + 1)
 
     def _handle(self, dgram: Datagram) -> None:
         if self._closed:
@@ -132,4 +142,7 @@ class ReliableChannel:
                 self.on_message(message)
         elif kind == "ack":
             _, seq = dgram.payload
-            self._unacked.pop(seq, None)
+            if self._unacked.pop(seq, None) is not None:
+                timer = self._retry.pop(seq, None)
+                if timer is not None:
+                    timer.cancel()

@@ -11,6 +11,8 @@ Public surface:
 - :class:`~repro.sim.cpu.CpuModel` for the calibrated AGW CPU model.
 - :class:`~repro.sim.monitor.Monitor` for experiment time series.
 - :class:`~repro.sim.rng.RngRegistry` for reproducible randomness.
+- :class:`~repro.sim.sansim.SimSan` for the opt-in runtime sanitizer
+  (``Simulator(sanitizer=SimSan())``).
 """
 
 from .kernel import (
@@ -29,6 +31,7 @@ from .cpu import CpuModel
 from .monitor import Monitor, Series, median, percentile
 from .resources import Resource, Signal, Store
 from .rng import RngRegistry
+from .sansim import SimSan
 
 __all__ = [
     "AllOf",
@@ -44,6 +47,7 @@ __all__ = [
     "ScheduledCall",
     "Series",
     "Signal",
+    "SimSan",
     "SimulationError",
     "Simulator",
     "Store",

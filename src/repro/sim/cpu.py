@@ -157,7 +157,7 @@ class CpuModel:
     def _ensure_ticking(self) -> None:
         if not self._ticking and not self._stopped:
             self._ticking = True
-            self.sim.schedule(self.quantum, self._tick)
+            self.sim.call_later(self.quantum, self._tick)
 
     def _pools(self) -> Iterable[_Pool]:
         if self.partition is None:
@@ -186,7 +186,7 @@ class CpuModel:
         if any(self._queues.get(c) for c in self._queues) or any(
             self._fluid.get(c) for c in self._fluid
         ):
-            self.sim.schedule(dt, self._tick)
+            self.sim.call_later(dt, self._tick)
         else:
             self._ticking = False
             self._fluid_served_rate.clear()

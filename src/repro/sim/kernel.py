@@ -494,9 +494,9 @@ class Simulator:
     __slots__ = ("_now", "_queue", "_counter", "_running", "_cutoff",
                  "_wheel_slots", "_wheel_order", "_wheel_next", "_wheel_count",
                  "_far", "_far_min", "_live", "_dead", "_pool", "ctx",
-                 "tracer")
+                 "tracer", "_san")
 
-    def __init__(self, timer_wheel: bool = True):
+    def __init__(self, timer_wheel: bool = True, sanitizer: Any = None):
         self._now = 0.0
         self._queue: List = []
         self._counter = itertools.count()
@@ -534,6 +534,15 @@ class Simulator:
         # The installed ``obs.tracing.Tracer`` (or None).  Components read
         # this at call time; assigning it retroactively enables tracing.
         self.tracer: Any = None
+        # The attached ``sim.sansim.SimSan`` (or None).  Enabling it swaps
+        # this instance's class to the instrumented subclass, so the base
+        # class's hot paths carry no per-event sanitizer check at all —
+        # the disabled cost is zero by construction, like the tracer-off
+        # fast path.
+        self._san: Any = None
+        if sanitizer is not None:
+            from .sansim import _install  # deferred: sansim imports kernel
+            _install(self, sanitizer)
 
     @property
     def now(self) -> float:

@@ -60,7 +60,7 @@ class IotWorkload:
         for ue in self.ues:
             # Desynchronize devices across the first interval.
             offset = self.rng.uniform(0, self.report_interval)
-            self.sim.schedule(offset, self._spawn_device, ue)
+            self.sim.call_later(offset, self._spawn_device, ue)
 
     def stop(self) -> None:
         self._running = False

@@ -57,14 +57,17 @@ def build_site(num_enbs: int = 1, num_ues: int = 1,
                ocs=None,
                orchestrator_node: Optional[str] = None,
                seed: int = 1,
-               do_s1_setup: bool = True) -> MagmaSite:
+               do_s1_setup: bool = True,
+               sanitizer=None) -> MagmaSite:
     """Build a cell site: one AGW, N eNodeBs on LAN links, M UEs.
 
     Subscribers are pre-provisioned straight into the AGW's subscriberdb
     (as the paper's evaluation does with pre-provisioned SIMs).
     """
-    sim = Simulator()
+    sim = Simulator(sanitizer=sanitizer)
     rng = RngRegistry(seed)
+    if sanitizer is not None:
+        sanitizer.watch_rng(rng)
     monitor = Monitor()
     network = Network(sim, rng)
     store = CheckpointStore()

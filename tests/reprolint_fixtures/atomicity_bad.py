@@ -1,0 +1,33 @@
+"""yield-atomicity fixture: read-modify-write straddling a yield.
+
+Each function snapshots shared ``self.*`` state, yields (anything may
+run: other processes mutate the same stores), then writes the stale
+snapshot back — silently undoing whatever ran in between.
+"""
+
+
+class Sessiond:
+    def __init__(self, sim):
+        self.sim = sim
+        self.active_sessions = 0
+        self.counters = None
+        self.store = None
+
+    def lost_update(self):
+        count = self.active_sessions
+        yield self.sim.timeout(1.0)
+        self.active_sessions = count + 1  # ATOMICITY-MARKER-RMW
+
+    def lost_update_via_helper(self, delta):
+        snapshot = self.counters
+        result = yield self.sim.rpc_call("orc8r", "checkin", snapshot)
+        self.counters = merge(snapshot, result)  # ATOMICITY-MARKER-MERGE
+
+    async def lost_update_async(self, request):
+        state = self.store
+        await self.sim.process(request)
+        self.store = state  # ATOMICITY-MARKER-AWAIT
+
+
+def merge(a, b):
+    return a

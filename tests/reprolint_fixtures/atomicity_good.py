@@ -1,0 +1,43 @@
+"""yield-atomicity fixture twin: every yield-crossing write here is safe.
+
+The three blessed shapes: re-read the store after resuming, guard the
+write by validating the snapshot against a fresh read, or use augmented
+assignment (which re-reads at write time).
+"""
+
+
+class Sessiond:
+    def __init__(self, sim):
+        self.sim = sim
+        self.active_sessions = 0
+        self.counters = None
+        self.epoch = 0
+
+    def reread_after_yield(self):
+        count = self.active_sessions
+        self.sim.log(count)
+        yield self.sim.timeout(1.0)
+        count = self.active_sessions
+        self.active_sessions = count + 1
+
+    def guarded_writeback(self):
+        epoch = self.epoch
+        counters = self.counters
+        yield self.sim.timeout(1.0)
+        if self.epoch != epoch:
+            return
+        self.epoch = epoch + 1
+
+    def augmented_assign(self):
+        delta = self.active_sessions
+        yield self.sim.timeout(1.0)
+        self.active_sessions += 1
+
+    def write_before_yield(self):
+        count = self.active_sessions
+        self.active_sessions = count + 1
+        yield self.sim.timeout(1.0)
+
+    def plain_callback_not_analyzed(self):
+        count = self.active_sessions
+        self.active_sessions = count + 1

@@ -1,0 +1,45 @@
+"""timer-leak fixture: every function here leaks a kernel timer handle.
+
+``service_request_reverted`` is the PR 6 guard-timer bug verbatim — the
+shipped ``ue.py`` fix with its ``try/finally`` revoke reverted: an
+interrupt at the yield skips the cancel and the 10 s guard rots in the
+scheduler.
+"""
+
+
+class UeReverted:
+    def __init__(self, sim, enb):
+        self.sim = sim
+        self.enb = enb
+        self._sr_done = None
+
+    def service_request_reverted(self):
+        self._sr_done = self.sim.event("sr-inner")
+        guard = self.sim.event("sr-guard")
+        guard_timer = self.sim.schedule(10.0, guard.succeed)  # TIMER-MARKER-SR
+        race = yield self.sim.any_of([self._sr_done, guard])
+        guard_timer.cancel()
+        if self._sr_done in race:
+            return True
+        return False
+
+    def one_branch_only(self, deadline):
+        probe = self.sim.schedule(deadline, self._probe)  # TIMER-MARKER-BRANCH
+        if deadline > 1.0:
+            probe.cancel()
+        # deadline <= 1.0 falls through without revoking: a leak path.
+
+    def rebound_before_revoke(self):
+        timer = self.sim.schedule(1.0, self._probe)  # TIMER-MARKER-REBIND
+        timer = self.sim.schedule(2.0, self._probe)  # TIMER-MARKER-REBIND-2
+        timer.cancel()
+
+    def discarded_handle(self):
+        self.sim.schedule(5.0, self._probe)  # TIMER-MARKER-DISCARD
+
+    def call_later_is_handleless(self):
+        handle = self.sim.call_later(5.0, self._probe)  # TIMER-MARKER-CALL-LATER
+        return handle
+
+    def _probe(self):
+        pass

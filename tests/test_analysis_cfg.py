@@ -1,0 +1,300 @@
+"""Unit tests for the reprolint CFG builder and dataflow solvers.
+
+These pin down the two modelling decisions the REPRO6xx rules depend on:
+yield points carry exception edges (to the innermost landing, or exit),
+and ``finally`` bodies run on every way out of their ``try``.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import Cfg, build_cfg, stmt_has_yield
+from repro.analysis.dataflow import must_reach, solve_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source).lstrip("\n"))
+    func = tree.body[0]
+    return build_cfg(func), func
+
+
+def node_at(cfg, func, lineno):
+    """The CFG node owning the statement that starts at ``lineno``
+    (1-based within the dedented snippet)."""
+    for node in cfg.nodes:
+        if node.stmt is not None and getattr(node.stmt, "lineno", None) == lineno:
+            return node
+    raise AssertionError(f"no node at line {lineno}")
+
+
+# -- graph shape ------------------------------------------------------------------
+
+
+def test_linear_function_chains_entry_to_exit():
+    cfg, _ = cfg_of("""
+        def f():
+            a = 1
+            b = a + 1
+            c = b
+        """)
+    # entry -> a -> b -> c -> exit, each with exactly one successor.
+    assert len(cfg.nodes) == 5
+    node = cfg.entry
+    seen = []
+    while node.index != Cfg.EXIT:
+        assert len(node.succ) == 1
+        node = cfg.nodes[node.succ[0]]
+        seen.append(node.kind)
+    assert seen == ["stmt", "stmt", "stmt", "exit"]
+
+
+def test_if_else_branches_rejoin():
+    cfg, func = cfg_of("""
+        def f(flag):
+            if flag:
+                a = 1
+            else:
+                a = 2
+            b = a
+        """)
+    test = node_at(cfg, func, 2)
+    assert test.kind == "test"
+    join = node_at(cfg, func, 6)
+    assert len(test.succ) == 2
+    assert sorted(cfg.nodes[s].stmt.lineno for s in test.succ) == [3, 5]
+    assert {p for p in join.pred} == {node_at(cfg, func, 3).index,
+                                      node_at(cfg, func, 5).index}
+
+
+def test_if_without_else_falls_through():
+    cfg, func = cfg_of("""
+        def f(flag):
+            if flag:
+                a = 1
+            b = 2
+        """)
+    test = node_at(cfg, func, 2)
+    after = node_at(cfg, func, 4)
+    # The false branch goes straight from the test to the statement after.
+    assert after.index in cfg.nodes[test.index].succ
+
+
+def test_while_loop_back_edge_and_break():
+    cfg, func = cfg_of("""
+        def f(n):
+            while n > 0:
+                if n == 3:
+                    break
+                n = n - 1
+            done = 1
+        """)
+    header = node_at(cfg, func, 2)
+    decrement = node_at(cfg, func, 5)
+    brk = node_at(cfg, func, 4)
+    after = node_at(cfg, func, 6)
+    assert header.index in decrement.succ          # back edge
+    assert after.index in brk.succ                 # break exits the loop
+    assert after.index in header.succ              # loop condition false
+
+
+def test_return_goes_to_exit():
+    cfg, func = cfg_of("""
+        def f(flag):
+            if flag:
+                return 1
+            x = 2
+        """)
+    ret = node_at(cfg, func, 3)
+    assert ret.succ == [Cfg.EXIT]
+
+
+def test_return_routed_through_enclosing_finally():
+    cfg, func = cfg_of("""
+        def f():
+            try:
+                return 1
+            finally:
+                cleanup()
+        """)
+    ret = node_at(cfg, func, 3)
+    cleanup = node_at(cfg, func, 5)
+    # return must run the finally body before leaving the function.
+    landing = cfg.nodes[ret.succ[0]]
+    assert landing.kind == "finally"
+    assert cleanup.index in landing.succ
+    assert Cfg.EXIT in cleanup.succ
+
+
+# -- yield modelling --------------------------------------------------------------
+
+
+def test_stmt_has_yield_detects_yield_and_await_not_nested_defs():
+    tree = ast.parse(textwrap.dedent("""
+        def g(items):
+            x = yield 1
+            y = [i for i in items]
+            f = lambda: (yield 2)
+        """).lstrip("\n"))
+    stmts = tree.body[0].body
+    assert stmt_has_yield(stmts[0])
+    assert not stmt_has_yield(stmts[1])
+    assert not stmt_has_yield(stmts[2])  # nested lambda's yield is its own
+
+
+def test_yield_gets_exception_edge_to_exit():
+    cfg, func = cfg_of("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            yield sim.timeout(1.0)
+            h.cancel()
+        """)
+    yield_node = node_at(cfg, func, 3)
+    assert yield_node.is_yield
+    cancel = node_at(cfg, func, 4)
+    # Both the normal continuation and the interrupt path exist.
+    assert cancel.index in yield_node.succ
+    assert Cfg.EXIT in yield_node.succ
+
+
+def test_yield_inside_try_lands_on_finally():
+    cfg, func = cfg_of("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            try:
+                yield sim.timeout(1.0)
+            finally:
+                h.cancel()
+        """)
+    yield_node = node_at(cfg, func, 4)
+    assert yield_node.is_yield
+    landings = [cfg.nodes[s].kind for s in yield_node.succ]
+    assert "finally" in landings
+    assert Cfg.EXIT not in yield_node.succ
+
+
+def test_await_is_a_yield_point():
+    cfg, func = cfg_of("""
+        async def f(sim):
+            await sim.timeout(1.0)
+        """)
+    assert node_at(cfg, func, 2).is_yield
+
+
+# -- must_reach -------------------------------------------------------------------
+
+
+def _must_cancel(source, lineno_create, var):
+    cfg, func = cfg_of(source)
+    creation = node_at(cfg, func, lineno_create)
+
+    def covers(node):
+        if node is creation or node.stmt is None:
+            return False
+        target = node.expr if node.kind == "test" else node.stmt
+        if target is None or node.kind in ("except", "finally"):
+            return False
+        return f"{var}.cancel" in ast.unparse(target)
+
+    def kills(node):
+        if node is creation or node.stmt is None or node.kind != "stmt":
+            return False
+        stmt = node.stmt
+        return (isinstance(stmt, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == var
+                        for t in stmt.targets))
+
+    return must_reach(cfg, creation.index, covers, kills)
+
+
+def test_must_reach_straight_line_cancel():
+    assert _must_cancel("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            h.cancel()
+        """, 2, "h")
+
+
+def test_must_reach_fails_when_one_branch_skips():
+    assert not _must_cancel("""
+        def f(sim, flag):
+            h = sim.schedule(1.0, cb)
+            if flag:
+                h.cancel()
+        """, 2, "h")
+
+
+def test_must_reach_fails_across_unprotected_yield():
+    assert not _must_cancel("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            yield sim.timeout(1.0)
+            h.cancel()
+        """, 2, "h")
+
+
+def test_must_reach_holds_with_finally_revoke():
+    assert _must_cancel("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            try:
+                yield sim.timeout(1.0)
+            finally:
+                h.cancel()
+        """, 2, "h")
+
+
+def test_must_reach_rebind_kills_the_obligation():
+    assert not _must_cancel("""
+        def f(sim):
+            h = sim.schedule(1.0, cb)
+            h = sim.schedule(2.0, cb)
+            h.cancel()
+        """, 2, "h")
+
+
+# -- solve_forward ----------------------------------------------------------------
+
+
+def test_solve_forward_propagates_and_merges_facts():
+    cfg, func = cfg_of("""
+        def f(flag):
+            if flag:
+                a = 1
+            else:
+                b = 2
+            c = 3
+        """)
+
+    def transfer(node, facts):
+        stmt = node.stmt
+        if node.kind == "stmt" and isinstance(stmt, ast.Assign):
+            name = stmt.targets[0].id
+            return frozenset(facts | {(name,)})
+        return facts
+
+    solution = solve_forward(cfg, transfer)
+    join = node_at(cfg, func, 6)
+    in_facts, out_facts = solution[join.index]
+    # Union meet: facts from both branches reach the join.
+    assert in_facts == frozenset({("a",), ("b",)})
+    assert out_facts == frozenset({("a",), ("b",), ("c",)})
+
+
+def test_solve_forward_loop_reaches_fixpoint():
+    cfg, func = cfg_of("""
+        def f(n):
+            while n > 0:
+                x = 1
+            y = 2
+        """)
+
+    def transfer(node, facts):
+        stmt = node.stmt
+        if node.kind == "stmt" and isinstance(stmt, ast.Assign):
+            return frozenset(facts | {(stmt.targets[0].id,)})
+        return facts
+
+    solution = solve_forward(cfg, transfer)
+    after = node_at(cfg, func, 4)
+    in_facts, _ = solution[after.index]
+    assert ("x",) in in_facts  # the loop body's fact flows out of the loop

@@ -10,7 +10,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import Baseline, all_rules, analyze_paths, analyze_source
+from repro.analysis import (AnalysisCache, Baseline, all_rules, analyze_paths,
+                            analyze_source)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "reprolint_fixtures"
@@ -182,6 +183,79 @@ def test_justified_or_narrow_excepts_are_clean():
     assert by_rule(findings, "broad-except-hygiene") == []
 
 
+# -- timer-leak (REPRO601) -------------------------------------------------------
+
+
+def test_timer_leak_redetects_pr6_guard_bug_at_exact_line():
+    """The acceptance gate: reverting the ue.py finally-revoke fix (copied
+    into the fixture) re-trips REPRO601 at the schedule() line."""
+    findings = fixture_findings("timers_bad.py")
+    hits = by_rule(findings, "timer-leak")
+    line = marker_line("timers_bad.py", "TIMER-MARKER-SR")
+    sr_hits = [f for f in hits if f.line == line]
+    assert len(sr_hits) == 1
+    assert sr_hits[0].code == "REPRO601"
+    assert "guard_timer" in sr_hits[0].message
+    assert "may leak" in sr_hits[0].message
+
+
+def test_timer_leak_flags_branch_rebind_discard_and_call_later():
+    findings = fixture_findings("timers_bad.py")
+    hits = by_rule(findings, "timer-leak")
+    expected = {
+        marker_line("timers_bad.py", "TIMER-MARKER-SR"),
+        marker_line("timers_bad.py", "TIMER-MARKER-BRANCH"),
+        marker_line("timers_bad.py", "TIMER-MARKER-REBIND"),
+        marker_line("timers_bad.py", "TIMER-MARKER-DISCARD"),
+        marker_line("timers_bad.py", "TIMER-MARKER-CALL-LATER"),
+    }
+    assert {f.line for f in hits} == expected
+    assert len(hits) == 5
+    messages = " | ".join(f.message for f in hits)
+    assert "discarded" in messages            # bare-Expr schedule()
+    assert "returns no handle" in messages    # handle-shaped call_later()
+
+
+def test_timer_leak_silent_on_blessed_ownership_shapes():
+    findings = fixture_findings("timers_good.py")
+    assert by_rule(findings, "timer-leak") == []
+
+
+def test_timer_leak_exempts_the_kernel_itself():
+    source = ("class Simulator:\n"
+              "    def _rearm(self):\n"
+              "        h = self.sim.schedule(1.0, self._tick)\n")
+    findings = analyze_source(source, path="src/repro/sim/kernel.py")
+    assert by_rule(findings, "timer-leak") == []
+    findings = analyze_source(source, path="src/repro/lte/enodeb.py")
+    assert by_rule(findings, "timer-leak") != []
+
+
+# -- yield-atomicity (REPRO602) --------------------------------------------------
+
+
+def test_yield_atomicity_flags_stale_writebacks_at_exact_lines():
+    findings = fixture_findings("atomicity_bad.py")
+    hits = by_rule(findings, "yield-atomicity")
+    expected = {
+        marker_line("atomicity_bad.py", "ATOMICITY-MARKER-RMW"),
+        marker_line("atomicity_bad.py", "ATOMICITY-MARKER-MERGE"),
+        marker_line("atomicity_bad.py", "ATOMICITY-MARKER-AWAIT"),
+    }
+    assert {f.line for f in hits} == expected
+    assert all(f.code == "REPRO602" for f in hits)
+    rmw = [f for f in hits
+           if f.line == marker_line("atomicity_bad.py",
+                                    "ATOMICITY-MARKER-RMW")][0]
+    assert "self.active_sessions" in rmw.message
+    assert "'count'" in rmw.message
+
+
+def test_yield_atomicity_silent_on_reread_guard_and_augassign():
+    findings = fixture_findings("atomicity_good.py")
+    assert by_rule(findings, "yield-atomicity") == []
+
+
 # -- suppression layers ----------------------------------------------------------
 
 
@@ -199,6 +273,58 @@ def test_baseline_roundtrip(tmp_path):
     assert baseline.unused_entries() == []
 
 
+def test_write_baseline_prunes_deleted_files_and_keeps_reasons(tmp_path,
+                                                               monkeypatch):
+    """Refreshing a baseline drops entries whose file is gone
+    (deleted/renamed) and preserves hand-edited reasons for survivors."""
+    monkeypatch.chdir(tmp_path)
+    live = tmp_path / "live.py"
+    live.write_text("import random\nrandom.random()\n")
+    gone = tmp_path / "gone.py"
+    gone.write_text("import random\nrandom.random()\n")
+    baseline_path = tmp_path / "baseline.json"
+    findings, errors, _count = analyze_paths([str(live), str(gone)])
+    assert errors == []
+    Baseline.write(str(baseline_path), findings)
+    data = json.loads(baseline_path.read_text())
+    paths = {entry["path"] for entry in data["suppressions"]}
+    assert any(p.endswith("live.py") for p in paths)
+    assert any(p.endswith("gone.py") for p in paths)
+    # Hand-edit a justification, then delete one file and refresh.
+    for entry in data["suppressions"]:
+        if entry["path"].endswith("live.py"):
+            entry["reason"] = "justified: intentional fixture entropy"
+    baseline_path.write_text(json.dumps(data))
+    gone.unlink()
+    findings, _errors, _count = analyze_paths([str(live)])
+    Baseline.write(str(baseline_path), findings)
+    data = json.loads(baseline_path.read_text())
+    paths = {entry["path"] for entry in data["suppressions"]}
+    assert not any(p.endswith("gone.py") for p in paths)  # stale: pruned
+    live_entries = [e for e in data["suppressions"]
+                    if e["path"].endswith("live.py")]
+    assert live_entries
+    assert all(e["reason"] == "justified: intentional fixture entropy"
+               for e in live_entries)
+
+
+def test_write_baseline_carries_forward_other_rules_entries(tmp_path,
+                                                            monkeypatch):
+    """A --select'ed rewrite must not drop suppressions for rules that did
+    not run (their files still exist)."""
+    monkeypatch.chdir(tmp_path)
+    live = tmp_path / "live.py"
+    live.write_text("import random\nrandom.random()\n")
+    baseline_path = tmp_path / "baseline.json"
+    findings, _errors, _count = analyze_paths([str(live)])
+    Baseline.write(str(baseline_path), findings)
+    before = json.loads(baseline_path.read_text())["suppressions"]
+    # Rewrite with zero findings (as a disjoint --select would produce).
+    Baseline.write(str(baseline_path), [])
+    after = json.loads(baseline_path.read_text())["suppressions"]
+    assert after == before
+
+
 def test_baseline_reports_unused_entries(tmp_path):
     baseline_path = tmp_path / "baseline.json"
     baseline_path.write_text(json.dumps({
@@ -210,6 +336,58 @@ def test_baseline_reports_unused_entries(tmp_path):
     for finding in fixture_findings("statesync_bad.py"):
         assert not baseline.suppresses(finding)
     assert len(baseline.unused_entries()) == 1
+
+
+# -- parallel driver and findings cache ------------------------------------------
+
+
+def test_parallel_analysis_matches_serial():
+    serial, serial_errors, serial_count = analyze_paths([str(FIXTURES)])
+    parallel, parallel_errors, parallel_count = analyze_paths(
+        [str(FIXTURES)], jobs=4)
+    assert parallel == serial
+    assert parallel_errors == serial_errors
+    assert parallel_count == serial_count
+
+
+def test_cache_skips_unchanged_files_and_returns_same_findings(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache = AnalysisCache(str(cache_path))
+    first, _errors, count = analyze_paths([str(FIXTURES)], cache=cache)
+    assert cache.hits == 0 and cache.misses == count
+    cache.save()
+    warm = AnalysisCache(str(cache_path))
+    second, _errors, _count = analyze_paths([str(FIXTURES)], cache=warm)
+    assert warm.hits == count and warm.misses == 0
+    assert second == first
+
+
+def test_cache_rehomes_findings_onto_renamed_files(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    source = "import random\nrandom.random()\n"
+    old = tmp_path / "old_name.py"
+    old.write_text(source)
+    cache = AnalysisCache(str(tmp_path / "cache.json"))
+    first, _e, _c = analyze_paths([str(old)], cache=cache)
+    assert first and all(f.path == "old_name.py" for f in first)
+    old.unlink()
+    new = tmp_path / "new_name.py"
+    new.write_text(source)
+    second, _e, _c = analyze_paths([str(new)], cache=cache)
+    assert cache.hits == 1  # same content hash
+    assert second and all(f.path == "new_name.py" for f in second)
+    assert [f.message for f in second] == [f.message for f in first]
+
+
+def test_cache_is_invalidated_by_rule_selection():
+    cache = AnalysisCache()
+    with_all, _e, _c = analyze_paths(
+        [str(FIXTURES / "random_bad.py")], cache=cache)
+    assert with_all
+    subset = all_rules(["no-wallclock"])
+    without, _e, _c = analyze_paths(
+        [str(FIXTURES / "random_bad.py")], rules=subset, cache=cache)
+    assert without == []  # different rule key: no stale cross-selection hit
 
 
 # -- CLI -------------------------------------------------------------------------
