@@ -58,6 +58,16 @@ class Enodebd:
         for device in self._devices.values():
             self._push_config(device)
 
+    def apply_desired_delta(self, upserts: Dict[str, Any],
+                            deletes: List[str], version: int) -> None:
+        """Apply a digest-reconciled delta to the desired RAN config."""
+        for key in deletes:
+            self.desired_config.pop(key, None)
+        self.desired_config.update(upserts)
+        self.desired_version = version
+        for device in self._devices.values():
+            self._push_config(device)
+
     def _push_config(self, device: RanDevice) -> None:
         if device.config_version < self.desired_version:
             device.config = dict(self.desired_config)

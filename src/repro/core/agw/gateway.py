@@ -162,6 +162,8 @@ class AccessGateway:
             "attach_accepted": float(mme["attach_accepted"]),
             "attach_rejected": float(mme["attach_rejected"]),
             "sessions_active": float(self.sessiond.session_count()),
+            "checkin_tx_bytes": float(self.magmad.stats["checkin_tx_bytes"]),
+            "checkin_rx_bytes": float(self.magmad.stats["checkin_rx_bytes"]),
         }
         monitor = self.context.monitor
         metrics.update(monitor.counters())

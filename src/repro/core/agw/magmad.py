@@ -19,8 +19,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
-from ...net.rpc import RpcChannel, RpcError
+from ...net.rpc import RpcChannel, RpcError, payload_bytes
 from ...sim.kernel import Interrupted, Process
+from ..sync import DigestMirror, ReconcileClient
 from .context import AgwContext
 
 
@@ -69,9 +70,17 @@ class Magmad:
         self._metrics_buffer: Deque[Dict[str, Any]] = deque(
             maxlen=context.config.metrics_buffer_max)
         self._metrics_seq = 0
+        # Digest trees over the *applied* config (repro.core.sync): every
+        # check-in carries their roots so the orchestrator can elide
+        # in-sync namespaces and reconcile divergent ones by tree walk.
+        self.mirror = DigestMirror()
         self.stats = {"checkpoints": 0, "checkins_ok": 0,
                       "checkins_failed": 0, "configs_applied": 0,
-                      "metrics_buffered": 0, "metrics_acked": 0}
+                      "metrics_buffered": 0, "metrics_acked": 0,
+                      "reconciles": 0, "reconcile_rounds": 0,
+                      "reconciles_aborted": 0, "delta_upserts": 0,
+                      "delta_tombstones": 0, "digest_fast_forwards": 0,
+                      "checkin_tx_bytes": 0, "checkin_rx_bytes": 0}
 
     def start(self) -> None:
         if self.running:
@@ -136,12 +145,14 @@ class Magmad:
             "gateway_id": self.context.node,
             "network_id": self.context.config.network_id,
             "config_version": self.config_version,
+            "digest_roots": self.mirror.roots(),
             "status": self.gateway.status_summary(),
             "metrics_backlog": backlog,
         }
         span = self.context.tracer.begin("magmad.checkin",
                                          component="magmad",
                                          node=self.context.node)
+        self._record_wire(tx=payload_bytes(request))
         try:
             with span.active():
                 response = yield self._orc_channel.call(
@@ -153,10 +164,70 @@ class Magmad:
             return False
         span.end()
         self.stats["checkins_ok"] += 1
+        self._record_wire(rx=payload_bytes(response))
         self._ack_metrics(response.get("metrics_ack"))
         if response.get("config") is not None:
             self.apply_config(response["config"], response["config_version"])
+        elif response.get("sync"):
+            yield from self._reconcile(response)
+        elif response.get("digest_in_sync"):
+            # Roots match but the version moved (a rewrite of identical
+            # values): adopt the new version without transferring anything.
+            self.config_version = response["config_version"]
+            self.stats["digest_fast_forwards"] += 1
         return True
+
+    def _reconcile(self, checkin_response: Dict[str, Any]):
+        """Generator: walk divergent digest trees down to leaf deltas."""
+        client = ReconcileClient(self.mirror, self._apply_delta,
+                                 self.context.config.network_id,
+                                 self.context.node)
+        request = client.start(checkin_response)
+        while request is not None:
+            self._record_wire(tx=payload_bytes(request))
+            try:
+                reply = yield self._orc_channel.call(
+                    "statesync", "reconcile", request,
+                    deadline=self.context.config.rpc_deadline)
+            except RpcError:
+                # Safe to abandon mid-walk: deltas applied so far only
+                # moved this replica *toward* the orchestrator, and the
+                # next check-in's roots restart the walk where it stopped.
+                self.stats["reconciles_aborted"] += 1
+                return False
+            self._record_wire(rx=payload_bytes(reply))
+            request = client.feed(reply)
+        result = client.result()
+        self.stats["reconciles"] += 1
+        self.stats["reconcile_rounds"] += result.rounds
+        self.stats["delta_upserts"] += result.upserts
+        self.stats["delta_tombstones"] += result.tombstones
+        if result.converged:
+            self.config_version = result.config_version
+            self.stats["configs_applied"] += 1
+        return result.converged
+
+    def _apply_delta(self, label: str, upserts: Dict[str, Any],
+                     deletes: List[str], version: int) -> None:
+        """Apply one reconciled leaf delta to the owning local store."""
+        if label == "subscribers":
+            self.gateway.subscriberdb.apply_desired_delta(
+                upserts, deletes, version)
+        elif label == "policies":
+            self.gateway.policydb.apply_desired_delta(
+                upserts, deletes, version)
+        elif label == "ran":
+            self.gateway.enodebd.apply_desired_delta(
+                upserts, deletes, version)
+
+    def _record_wire(self, tx: int = 0, rx: int = 0) -> None:
+        self.stats["checkin_tx_bytes"] += tx
+        self.stats["checkin_rx_bytes"] += rx
+        monitor = self.context.monitor
+        if tx:
+            monitor.count("checkin.tx_bytes", tx)
+        if rx:
+            monitor.count("checkin.rx_bytes", rx)
 
     def _buffer_metrics(self) -> None:
         """Snapshot current metrics into the seq-numbered backlog."""
@@ -194,11 +265,14 @@ class Magmad:
         subscribers = bundle.get("subscribers")
         if subscribers is not None:
             self.gateway.subscriberdb.apply_desired_state(subscribers, version)
+            self.mirror.rebuild("subscribers", subscribers)
         policies = bundle.get("policies")
         if policies is not None:
             self.gateway.policydb.apply_desired_state(policies, version)
+            self.mirror.rebuild("policies", policies)
         ran_config = bundle.get("ran")
         if ran_config is not None:
             self.gateway.enodebd.apply_desired_config(ran_config, version)
+            self.mirror.rebuild("ran", ran_config)
         self.config_version = version
         self.stats["configs_applied"] += 1

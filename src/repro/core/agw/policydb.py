@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..policy.rules import PolicyRule, unlimited
 
@@ -38,4 +38,13 @@ class PolicyDb:
         merged = dict(policies)
         merged.setdefault("default", unlimited("default"))
         self._policies = merged
+        self.version = version
+
+    def apply_desired_delta(self, upserts: Dict[str, PolicyRule],
+                            deletes: List[str], version: int) -> None:
+        """Apply a digest-reconciled delta; the default always survives."""
+        for policy_id in deletes:
+            self._policies.pop(policy_id, None)
+        self._policies.update(upserts)
+        self._policies.setdefault("default", unlimited("default"))
         self.version = version

@@ -15,7 +15,7 @@ carry a password-equivalent instead; unused fields are simply None.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ...lte import auth
 
@@ -68,6 +68,21 @@ class SubscriberDb:
         updates were lost, one successful sync converges the replica.
         """
         self._profiles = dict(profiles)
+        self.version = version
+
+    def apply_desired_delta(self, upserts: Dict[str, SubscriberProfile],
+                            deletes: List[str], version: int) -> None:
+        """Apply a digest-reconciled delta (``repro.core.sync``).
+
+        Still the desired-state model, at leaf-bucket granularity: the
+        delta is computed against a digest of *this* replica's applied
+        state, so applying it converges the replica exactly - deletes
+        are tombstones for keys the orchestrator no longer has, and the
+        digest walk re-ships anything a lost delta left divergent.
+        """
+        for imsi in deletes:
+            self._profiles.pop(imsi, None)
+        self._profiles.update(upserts)
         self.version = version
 
     # -- authentication support ----------------------------------------------------

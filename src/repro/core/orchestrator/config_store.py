@@ -11,7 +11,7 @@ tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,16 @@ class ConfigStore:
         self._data: Dict[Tuple[str, str], Any] = {}
         self._version = 0
         self._ns_versions: Dict[str, int] = {}
+        self._observers: List[Callable[[WalEntry], None]] = []
+
+    def add_observer(self, fn: Callable[[WalEntry], None]) -> None:
+        """Call ``fn(entry)`` after every applied mutation.
+
+        Lets derived structures (the digest index) stay incrementally in
+        sync without polling the WAL.  Observers run synchronously after
+        the store state is updated, so they may read back what they see.
+        """
+        self._observers.append(fn)
 
     @property
     def version(self) -> int:
@@ -51,6 +61,7 @@ class ConfigStore:
         self._wal.append(entry)       # WAL first, then apply
         self._data[(namespace, key)] = value
         self._ns_versions[namespace] = self._version
+        self._notify(entry)
         return self._version
 
     def delete(self, namespace: str, key: str) -> int:
@@ -61,7 +72,12 @@ class ConfigStore:
         self._wal.append(entry)
         del self._data[(namespace, key)]
         self._ns_versions[namespace] = self._version
+        self._notify(entry)
         return self._version
+
+    def _notify(self, entry: WalEntry) -> None:
+        for fn in self._observers:
+            fn(entry)
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
         return self._data.get((namespace, key), default)

@@ -7,12 +7,21 @@ mutations flow through here - AGWs never write config state (§3.4).
 
 The orchestrator has its own CPU model so the §4.3.2 scaling study can
 measure control-plane load as a function of gateway count.
+
+**Scale-out** (``num_shards > 0``): the control plane splits into N
+``StateSync`` shards, each with its own metrics store, CPU model, and
+network node.  Gateways are partitioned by consistent hash of
+``gateway_id`` (``repro.core.sync.shard``); check-ins arriving at the
+main node are routed to the owning shard, and gateways may also address
+their shard's node directly (``shard_node_for``).  The config store stays
+single-writer on the main node - shards serve reads of it, which is the
+real orchestrator's stateless-service-over-shared-DB shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from ...net.rpc import RpcError, RpcServer
 from ...net.simnet import Network
@@ -21,6 +30,13 @@ from ...sim.kernel import Simulator
 from ...sim.monitor import Monitor
 from ..agw.subscriberdb import SubscriberProfile
 from ..policy.rules import PolicyRule
+from ..sync import (
+    ConsistentHashRing,
+    DigestIndex,
+    MergedGatewayView,
+    MergedMetricsView,
+    ShardRouter,
+)
 from .alerting import AlertManager, AlertRule, metric_threshold_rule
 from .bootstrapper import Bootstrapper, BootstrapError
 from .config_store import ConfigStore
@@ -43,9 +59,24 @@ class OrchestratorConfig:
     checkin_cpu_cost: float = 0.002
     metrics_cpu_cost_per_sample: float = 0.0002
     config_push_cpu_cost: float = 0.01
+    reconcile_cpu_cost: float = 0.003
     northbound_cpu_cost: float = 0.005
     offline_threshold: float = 300.0
     quantum: float = 0.05
+
+
+class OrchestratorShard:
+    """One horizontal slice of the control plane: its own state-sync
+    registry, metrics store, CPU, and RPC endpoint."""
+
+    def __init__(self, shard_id: str, node: str, statesync: StateSync,
+                 metricsd: Metricsd, cpu: CpuModel, server: RpcServer):
+        self.shard_id = shard_id
+        self.node = node
+        self.statesync = statesync
+        self.metricsd = metricsd
+        self.cpu = cpu
+        self.server = server
 
 
 class Orchestrator:
@@ -53,19 +84,63 @@ class Orchestrator:
 
     def __init__(self, sim: Simulator, network: Network, node: str = "orc",
                  config: Optional[OrchestratorConfig] = None,
-                 monitor: Optional[Monitor] = None):
+                 monitor: Optional[Monitor] = None,
+                 digest_sync: bool = True,
+                 num_shards: int = 0):
         self.sim = sim
         self.network = network
         self.node = node
         self.config = config or OrchestratorConfig()
         self.monitor = monitor or Monitor()
+        self.num_shards = num_shards
         network.add_node(node)
         self.cpu = CpuModel(sim, cores=self.config.cores,
                             quantum=self.config.quantum,
                             monitor=self.monitor, name=node)
         self.store = ConfigStore()
-        self.metricsd = Metricsd()
-        self.statesync = StateSync(sim, self.store, self.metricsd)
+        self.digests = DigestIndex(self.store) if digest_sync else None
+        self.shards: List[OrchestratorShard] = []
+        self.router: Optional[ShardRouter] = None
+        if num_shards > 0:
+            # Each shard is its own slice of the cluster's cores: the load
+            # question is whether N small shards absorb what one big
+            # process would, so total hardware is held constant.
+            shard_cores = self.config.cores / num_shards
+            for i in range(num_shards):
+                shard_node = f"{node}-s{i}"
+                network.add_node(shard_node)
+                shard_metricsd = Metricsd()
+                shard_sync = StateSync(sim, self.store, shard_metricsd,
+                                       digest_sync=digest_sync,
+                                       digests=self.digests,
+                                       monitor=self.monitor)
+                shard_cpu = CpuModel(sim, cores=shard_cores,
+                                     quantum=self.config.quantum,
+                                     monitor=self.monitor, name=shard_node)
+                shard_server = RpcServer(sim, network, shard_node)
+                shard_server.register(
+                    "statesync", "checkin",
+                    self._make_checkin_handler(shard_sync, shard_cpu))
+                shard_server.register(
+                    "statesync", "reconcile",
+                    self._make_reconcile_handler(shard_sync, shard_cpu))
+                self.shards.append(OrchestratorShard(
+                    shard_id=shard_node, node=shard_node,
+                    statesync=shard_sync, metricsd=shard_metricsd,
+                    cpu=shard_cpu, server=shard_server))
+            ring = ConsistentHashRing([s.shard_id for s in self.shards])
+            self.router = ShardRouter(ring,
+                                      {s.shard_id: s for s in self.shards})
+            self.statesync: Union[StateSync, MergedGatewayView] = \
+                MergedGatewayView([s.statesync for s in self.shards])
+            self.metricsd: Union[Metricsd, MergedMetricsView] = \
+                MergedMetricsView([s.metricsd for s in self.shards])
+        else:
+            self.metricsd = Metricsd()
+            self.statesync = StateSync(sim, self.store, self.metricsd,
+                                       digest_sync=digest_sync,
+                                       digests=self.digests,
+                                       monitor=self.monitor)
         self.bootstrapper = Bootstrapper(clock=lambda: sim.now)
         self.alerts = AlertManager(clock=lambda: sim.now)
         self.alerts.add_rule(AlertRule(
@@ -83,12 +158,53 @@ class Orchestrator:
             message="gateway has rejected attach attempts"))
         self.server = RpcServer(sim, network, node)
         self.server.register("statesync", "checkin", self._checkin_handler)
+        self.server.register("statesync", "reconcile",
+                             self._reconcile_handler)
         self.server.register("bootstrap", "challenge", self._challenge_handler)
         self.server.register("bootstrap", "complete", self._complete_handler)
 
+    # -- sharding --------------------------------------------------------------------
+
+    def shard_for(self, gateway_id: str) -> Optional[OrchestratorShard]:
+        """The shard owning ``gateway_id`` (None when unsharded)."""
+        if self.router is None:
+            return None
+        return self.router.shard_for(gateway_id)
+
+    def shard_node_for(self, gateway_id: str) -> str:
+        """The node a gateway should address its check-ins to."""
+        shard = self.shard_for(gateway_id)
+        return self.node if shard is None else shard.node
+
     # -- RPC handlers ---------------------------------------------------------------
 
+    def _route(self, gateway_id: str) -> tuple:
+        """(statesync, cpu) serving ``gateway_id``'s sync traffic."""
+        shard = self.shard_for(gateway_id)
+        if shard is None:
+            return self.statesync, self.cpu
+        return shard.statesync, shard.cpu
+
     def _checkin_handler(self, request: Dict[str, Any]):
+        statesync, cpu = self._route(request["gateway_id"])
+        return self._run_checkin(statesync, cpu, request)
+
+    def _reconcile_handler(self, request: Dict[str, Any]):
+        statesync, cpu = self._route(request["gateway_id"])
+        return self._run_reconcile(statesync, cpu, request)
+
+    def _make_checkin_handler(self, statesync: StateSync, cpu: CpuModel):
+        def handler(request: Dict[str, Any]):
+            return self._run_checkin(statesync, cpu, request)
+        return handler
+
+    def _make_reconcile_handler(self, statesync: StateSync, cpu: CpuModel):
+        def handler(request: Dict[str, Any]):
+            return self._run_reconcile(statesync, cpu, request)
+        return handler
+
+    def _run_checkin(self, statesync: StateSync, cpu: CpuModel,
+                     request: Dict[str, Any]):
         cost = self.config.checkin_cpu_cost
         backlog = request.get("metrics_backlog")
         if backlog is not None:
@@ -96,12 +212,22 @@ class Orchestrator:
         else:
             samples = len(request.get("metrics") or {})
         cost += samples * self.config.metrics_cpu_cost_per_sample
-        response = self.statesync.handle_checkin(request)
+        response = statesync.handle_checkin(request)
         if response.get("config") is not None:
             cost += self.config.config_push_cpu_cost
 
         def proc(sim):
-            yield self.cpu.submit("checkin", cost)
+            yield cpu.submit("checkin", cost)
+            return response
+
+        return proc(self.sim)
+
+    def _run_reconcile(self, statesync: StateSync, cpu: CpuModel,
+                       request: Dict[str, Any]):
+        response = statesync.handle_reconcile(request)
+
+        def proc(sim):
+            yield cpu.submit("reconcile", self.config.reconcile_cpu_cost)
             return response
 
         return proc(self.sim)

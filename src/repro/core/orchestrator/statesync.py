@@ -1,19 +1,33 @@
 """State synchronization service: the orchestrator's side of check-ins.
 
 Implements the desired-state push of §3.4: each gateway check-in carries
-the gateway's applied config version; when stale, the response carries the
-*entire* current configuration bundle, not a delta.  Losing any number of
-pushes therefore never desynchronizes a gateway - the next successful
-check-in converges it.
+the gateway's applied config version; when stale, the response carries
+the current configuration, and losing any number of pushes never
+desynchronizes a gateway - the next successful check-in converges it.
+
+Two transfer paths, selected per check-in:
+
+- **Full bundle** (the original path, and the ``digest_sync=False``
+  escape hatch): the response carries the *entire* network bundle.
+- **Digest sync** (default): check-ins carry per-namespace digest roots;
+  matching namespaces are elided and divergent ones are narrowed by a
+  digest-tree walk (``statesync/reconcile``) that ships only divergent
+  leaf-bucket deltas with tombstones - real Magma's subscriberdb digest
+  streaming.  A gateway that never sends roots (older client, direct
+  caller) transparently gets the full-bundle path.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from ...net.rpc import payload_bytes
 from ...obs.tracing import tracer_of
 from ...sim.kernel import Simulator
+from ...sim.monitor import Monitor
+from ..sync import DigestIndex, ReconcileServer
 from .config_store import ConfigStore
 from .metricsd import Metricsd
 
@@ -22,6 +36,9 @@ NS_POLICIES = "policies"
 NS_RAN = "ran"
 NS_GATEWAYS = "gateways"
 DEFAULT_NETWORK = "default"
+
+#: Retained samples per wire-bytes series (scalar aggregates stay exact).
+WIRE_SERIES_SAMPLES = 4096
 
 
 def scoped(namespace: str, network_id: str) -> str:
@@ -49,21 +66,55 @@ class GatewayState:
 
 
 class StateSync:
-    """Tracks gateway liveness and serves desired-state config bundles."""
+    """Tracks gateway liveness and serves desired-state config sync."""
 
     def __init__(self, sim: Simulator, store: ConfigStore,
-                 metricsd: Optional[Metricsd] = None):
+                 metricsd: Optional[Metricsd] = None,
+                 digest_sync: bool = True,
+                 digests: Optional[DigestIndex] = None,
+                 monitor: Optional[Monitor] = None):
         self.sim = sim
         self.store = store
         self.metricsd = metricsd
+        self.monitor = monitor
+        # digest_sync=False is the escape hatch mirroring
+        # Simulator(timer_wheel=False): byte-identical event order to the
+        # pre-digest protocol, for A/B runs and bisection.
+        self.digest_sync = digest_sync
+        self.digests: Optional[DigestIndex] = None
+        self.reconciler: Optional[ReconcileServer] = None
+        if digest_sync:
+            self.digests = digests if digests is not None \
+                else DigestIndex(store)
+            self.reconciler = ReconcileServer(self.digests, store, scoped)
         self._gateways: Dict[str, GatewayState] = {}
+        # Check-in recency order (oldest first): each check-in moves the
+        # gateway to the end, so offline_gateways() scans only the stale
+        # prefix instead of every registered gateway.
+        self._by_recency: "OrderedDict[str, GatewayState]" = OrderedDict()
+        # network -> applied config version -> gateway ids: stale_gateways()
+        # reads the few stale buckets instead of walking the fleet (in
+        # steady state every gateway sits in one converged bucket).
+        self._by_applied: Dict[str, Dict[int, Set[str]]] = {}
+        # network -> (store version, per-namespace versions): recomputing
+        # the namespace-version tuple is 3 dict probes + allocation per
+        # check-in; at 50k-gateway storms it shows up, and it only changes
+        # when the store version moves.
+        self._ns_versions_memo: Dict[str, Tuple[int, tuple]] = {}
         # network -> (per-namespace versions, bundle): the bundle is reused
         # until one of the *network's own* namespaces changes, so a
         # thousand-gateway check-in storm (or churn in another tenant's
         # namespaces) never rebuilds an identical bundle.
         self._bundle_cache: Dict[str, tuple] = {}
+        # network -> (per-namespace versions, payload bytes): sizing the
+        # bundle is O(bundle), so it is cached exactly like the bundle.
+        self._bundle_bytes: Dict[str, Tuple[tuple, int]] = {}
         self.stats = {"checkins": 0, "config_pushes": 0,
-                      "bundle_rebuilds": 0, "bundle_cache_hits": 0}
+                      "bundle_rebuilds": 0, "bundle_cache_hits": 0,
+                      "digest_syncs": 0, "digest_elisions": 0,
+                      "reconcile_requests": 0, "reconcile_upserts": 0,
+                      "reconcile_tombstones": 0,
+                      "rx_bytes": 0, "tx_bytes": 0}
 
     # -- the checkin handler (registered as statesync/checkin) ---------------------
 
@@ -75,11 +126,16 @@ class StateSync:
             state = GatewayState(gateway_id=gateway_id, first_seen=now,
                                  last_checkin=now)
             self._gateways[gateway_id] = state
+        else:
+            self._applied_bucket(state).discard(gateway_id)
         state.last_checkin = now
         state.checkins += 1
         state.config_version = request.get("config_version", 0)
         state.status = request.get("status", {})
         state.network_id = request.get("network_id", DEFAULT_NETWORK)
+        self._by_recency[gateway_id] = state
+        self._by_recency.move_to_end(gateway_id)
+        self._applied_bucket(state).add(gateway_id)
         self.stats["checkins"] += 1
         span = tracer_of(self.sim).child("statesync.checkin",
                                          component="statesync",
@@ -111,20 +167,100 @@ class StateSync:
         # it applied - version bumps from other tenants' namespaces leave
         # its desired state identical, so no bundle (full-state semantics
         # per push are preserved; only no-op pushes are elided).
-        if state.config_version < self.network_config_version(state.network_id):
+        digest_roots = request.get("digest_roots")
+        if state.config_version >= self.network_config_version(
+                state.network_id):
+            response["config"] = None
+        elif (self.digest_sync and digest_roots is not None
+              and state.config_version > 0):
+            # Digest path: elide matching namespaces entirely; open a tree
+            # walk for divergent ones.  A first-contact gateway (version 0)
+            # still gets the full bundle - walking a fully-divergent tree
+            # would ship every leaf anyway, at more round trips.
+            response["config"] = None
+            sync = self.reconciler.sync_info(state.network_id, digest_roots)
+            if sync:
+                response["sync"] = sync
+                self.stats["digest_syncs"] += 1
+            else:
+                # Same content under a newer version number (a rewrite of
+                # identical values): fast-forward the gateway's version.
+                response["digest_in_sync"] = True
+                self.stats["digest_elisions"] += 1
+        else:
             response["config"] = self.config_bundle(state.network_id)
             self.stats["config_pushes"] += 1
-        else:
-            response["config"] = None
+        self._record_wire("checkin", request, response, state.network_id)
         span.end()
         return response
+
+    # -- the reconcile handler (registered as statesync/reconcile) -----------------
+
+    def handle_reconcile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One round of the digest-tree walk (see ``repro.core.sync``)."""
+        if self.reconciler is None:
+            raise ValueError("digest sync is disabled on this StateSync")
+        response = self.reconciler.handle(request)
+        response["config_version"] = self.store.version
+        self.stats["reconcile_requests"] += 1
+        for label_deltas in response["deltas"].values():
+            for delta in label_deltas.values():
+                self.stats["reconcile_upserts"] += len(delta["set"])
+                self.stats["reconcile_tombstones"] += len(delta["delete"])
+        self._record_wire("reconcile", request, response, None)
+        return response
+
+    # -- wire-size observability ----------------------------------------------------
+
+    def _record_wire(self, kind: str, request: Dict[str, Any],
+                     response: Dict[str, Any],
+                     network_id: Optional[str]) -> None:
+        rx = payload_bytes(request)
+        # The full bundle dominates the response and is shared across a
+        # storm of check-ins; size it once per (network, versions) and sum
+        # the shallow remainder per response.
+        tx = payload_bytes({k: v for k, v in response.items()
+                            if k != "config"})
+        if response.get("config") is not None:
+            tx += self._bundle_payload_bytes(network_id)
+        else:
+            tx += payload_bytes(None)
+        self.stats["rx_bytes"] += rx
+        self.stats["tx_bytes"] += tx
+        if self.monitor is not None:
+            now = self.sim.now
+            self.monitor.bounded_series(
+                f"sync.{kind}.rx_bytes", WIRE_SERIES_SAMPLES).record(now, rx)
+            self.monitor.bounded_series(
+                f"sync.{kind}.tx_bytes", WIRE_SERIES_SAMPLES).record(now, tx)
+
+    def _bundle_payload_bytes(self, network_id: str) -> int:
+        versions = self._network_ns_versions(network_id)
+        cached = self._bundle_bytes.get(network_id)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        # Read the bundle straight out of the cache (the caller just built
+        # it) so sizing doesn't perturb the rebuild/cache-hit stats.
+        bundled = self._bundle_cache.get(network_id)
+        bundle = bundled[1] if bundled is not None \
+            and bundled[0] == versions else self.config_bundle(network_id)
+        size = payload_bytes(bundle)
+        self._bundle_bytes[network_id] = (versions, size)
+        return size
 
     # -- bundle construction ----------------------------------------------------------
 
     def _network_ns_versions(self, network_id: str) -> tuple:
-        """Store versions of the namespaces this network's bundle reads."""
-        return tuple(self.store.namespace_version(scoped(ns, network_id))
-                     for ns in (NS_SUBSCRIBERS, NS_POLICIES, NS_RAN))
+        """Store versions of the namespaces this network's bundle reads
+        (memoized per store version - see class docstring)."""
+        store_version = self.store.version
+        memo = self._ns_versions_memo.get(network_id)
+        if memo is not None and memo[0] == store_version:
+            return memo[1]
+        versions = tuple(self.store.namespace_version(scoped(ns, network_id))
+                         for ns in (NS_SUBSCRIBERS, NS_POLICIES, NS_RAN))
+        self._ns_versions_memo[network_id] = (store_version, versions)
+        return versions
 
     def network_config_version(self, network_id: str = DEFAULT_NETWORK) -> int:
         """Latest store version that changed this network's desired state."""
@@ -182,16 +318,79 @@ class StateSync:
         return len(self._gateways)
 
     def offline_gateways(self, max_age: float) -> List[str]:
+        """Gateways whose last check-in is older than ``max_age``.
+
+        ``_by_recency`` is ordered by last check-in (each check-in moves
+        the gateway to the end), so this scans exactly the offline prefix
+        plus one sentinel entry.
+        """
         now = self.sim.now
-        return sorted(g.gateway_id for g in self._gateways.values()
-                      if now - g.last_checkin > max_age)
+        out = []
+        for gateway_id, state in self._by_recency.items():
+            if now - state.last_checkin <= max_age:
+                break
+            out.append(gateway_id)
+        return sorted(out)
 
     def stale_gateways(self) -> List[str]:
         """Gateways whose applied config lags *their own network's* desired
         state.  Comparing against the global ``store.version`` would report
         every other tenant's gateways stale forever after any one tenant's
         write — the same per-network scoping ``handle_checkin`` uses to
-        elide no-op pushes."""
-        return sorted(g.gateway_id for g in self._gateways.values()
-                      if g.config_version <
-                      self.network_config_version(g.network_id))
+        elide no-op pushes.  Reads the per-network applied-version buckets:
+        a converged fleet is one bucket probe, not a fleet walk."""
+        out: List[str] = []
+        for network_id, buckets in self._by_applied.items():
+            net_version = self.network_config_version(network_id)
+            for version, gateway_ids in buckets.items():
+                if version < net_version:
+                    out.extend(gateway_ids)
+        return sorted(out)
+
+    def _applied_bucket(self, state: GatewayState) -> Set[str]:
+        buckets = self._by_applied.setdefault(state.network_id, {})
+        bucket = buckets.get(state.config_version)
+        if bucket is None:
+            bucket = set()
+            buckets[state.config_version] = bucket
+        return bucket
+
+    # -- checkpoint / restore ------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the gateway registry (shard fail-over support).
+
+        Only the registry needs saving: bundles, digests, and indexes are
+        all derived state, rebuilt on demand from the config store and the
+        restored registry.
+        """
+        return {"gateways": [{
+            "gateway_id": g.gateway_id,
+            "first_seen": g.first_seen,
+            "last_checkin": g.last_checkin,
+            "config_version": g.config_version,
+            "checkins": g.checkins,
+            "status": dict(g.status),
+            "network_id": g.network_id,
+            "last_metrics_seq": g.last_metrics_seq,
+        } for g in self._by_recency.values()]}
+
+    def restore(self, snapshot: Dict[str, Any]) -> int:
+        """Rebuild the registry (and its indexes) from a checkpoint."""
+        self._gateways = {}
+        self._by_recency = OrderedDict()
+        self._by_applied = {}
+        for entry in snapshot["gateways"]:
+            state = GatewayState(
+                gateway_id=entry["gateway_id"],
+                first_seen=entry["first_seen"],
+                last_checkin=entry["last_checkin"],
+                config_version=entry["config_version"],
+                checkins=entry["checkins"],
+                status=dict(entry["status"]),
+                network_id=entry["network_id"],
+                last_metrics_seq=entry["last_metrics_seq"])
+            self._gateways[state.gateway_id] = state
+            self._by_recency[state.gateway_id] = state
+            self._applied_bucket(state).add(state.gateway_id)
+        return len(self._gateways)

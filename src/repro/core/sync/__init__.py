@@ -1,0 +1,53 @@
+"""Merkle-digest desired-state reconciliation + orchestrator sharding.
+
+The scale-out half of §3.4's desired-state model: check-ins carry
+namespace digests instead of version numbers alone, divergence ships
+leaf-bucket deltas instead of full bundles, and gateways partition
+across ``StateSync`` shards by consistent hash.  See DESIGN.md §6.6.
+"""
+
+from .digest import (
+    DIGEST_BYTES,
+    DigestIndex,
+    DigestTree,
+    NodePath,
+    OverlayTree,
+    canonical_bytes,
+    entry_digest,
+    key_hash,
+)
+from .reconcile import (
+    SYNC_LABELS,
+    DigestMirror,
+    ReconcileClient,
+    ReconcileResult,
+    ReconcileServer,
+)
+from .shard import (
+    DEFAULT_VNODES,
+    ConsistentHashRing,
+    MergedGatewayView,
+    MergedMetricsView,
+    ShardRouter,
+)
+
+__all__ = [
+    "DIGEST_BYTES",
+    "DEFAULT_VNODES",
+    "ConsistentHashRing",
+    "DigestIndex",
+    "DigestMirror",
+    "DigestTree",
+    "MergedGatewayView",
+    "MergedMetricsView",
+    "NodePath",
+    "OverlayTree",
+    "ReconcileClient",
+    "ReconcileResult",
+    "ReconcileServer",
+    "ShardRouter",
+    "SYNC_LABELS",
+    "canonical_bytes",
+    "entry_digest",
+    "key_hash",
+]

@@ -1,0 +1,380 @@
+"""Merkle/rolling-digest trees over configuration namespaces.
+
+Real Magma streams subscriberdb state with *digests*: the gateway sends a
+compact fingerprint of its applied view, and the orchestrator only ships
+the parts that differ.  This module provides the fingerprint half of that
+protocol for the reproduction:
+
+- :func:`canonical_bytes` — a deterministic serialization of config
+  values (dataclasses, containers, primitives) so digests are identical
+  across processes, runs, and ``PYTHONHASHSEED`` values.
+- :class:`DigestTree` — a fixed-fanout digest tree over one namespace.
+  Keys hash into ``fanout ** depth`` leaf buckets; each leaf keeps an
+  XOR accumulator of per-entry digests (O(1) incremental ``put`` /
+  ``delete``) plus the per-key entry digests needed to compute exact
+  deltas; internal nodes hash their children and are cached lazily, so
+  an unchanged namespace recomputes *nothing* — the memoization the
+  check-in storm lives on.
+- :class:`OverlayTree` — a copy-on-write view over a shared base tree:
+  only touched leaf buckets are copied.  Lets tens of thousands of
+  simulated gateways with identical applied state share one mirror.
+- :class:`DigestIndex` — per-namespace trees kept incrementally in sync
+  with a :class:`~repro.core.orchestrator.config_store.ConfigStore` via
+  its mutation-observer hook; trees are built on first use so stores
+  that never serve digests pay nothing.
+
+Collision stance: digests are 128-bit BLAKE2b truncations combined with
+XOR at the leaves; equality is treated as content equality, which is the
+same engineering bet real digest-sync systems make (a random collision is
+~2^-64 per comparison, far below simulated-hardware failure rates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from hashlib import blake2b
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Bytes per digest (128-bit truncated BLAKE2b).
+DIGEST_BYTES = 16
+
+#: Path of a tree node: one base-``fanout`` digit per level from the root.
+NodePath = Tuple[int, ...]
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministic, type-tagged serialization of a config value.
+
+    Supports the value shapes the config store actually holds — plain
+    scalars, containers, and (frozen) dataclasses like
+    ``SubscriberProfile`` / ``PolicyRule``.  Anything else raises
+    ``TypeError`` instead of silently hashing an address-bearing
+    ``repr`` — a nondeterministic digest is worse than no digest.
+    """
+    out = bytearray()
+    _canonical_into(obj, out)
+    return bytes(out)
+
+
+def _canonical_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int):
+        out += b"i%d;" % obj
+    elif isinstance(obj, float):
+        out += b"f"
+        out += repr(obj).encode("ascii")
+        out += b";"
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out += b"s%d:" % len(data)
+        out += data
+    elif isinstance(obj, bytes):
+        out += b"b%d:" % len(obj)
+        out += obj
+    elif isinstance(obj, (list, tuple)):
+        out += b"l%d:" % len(obj)
+        for item in obj:
+            _canonical_into(item, out)
+    elif isinstance(obj, dict):
+        out += b"d%d:" % len(obj)
+        for key in sorted(obj, key=_dict_sort_key):
+            _canonical_into(key, out)
+            _canonical_into(obj[key], out)
+    elif isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in obj)
+        out += b"e%d:" % len(parts)
+        for part in parts:
+            out += part
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = dataclasses.fields(obj)
+        out += b"D"
+        _canonical_into(type(obj).__name__, out)
+        out += b"%d:" % len(fields)
+        for f in fields:
+            _canonical_into(f.name, out)
+            _canonical_into(getattr(obj, f.name), out)
+    else:
+        raise TypeError(
+            f"cannot canonicalize {type(obj).__name__!r} for digesting; "
+            "config values must be scalars, containers, or dataclasses")
+
+
+def _dict_sort_key(key: Any) -> Tuple[str, bytes]:
+    return (type(key).__name__, canonical_bytes(key))
+
+
+def entry_digest(key: str, value: Any) -> int:
+    """128-bit digest of one ``(key, value)`` entry."""
+    h = blake2b(digest_size=DIGEST_BYTES)
+    h.update(b"entry:")
+    h.update(key.encode("utf-8"))
+    h.update(b"=")
+    h.update(canonical_bytes(value))
+    return int.from_bytes(h.digest(), "big")
+
+
+def key_hash(key: str) -> int:
+    """Stable 64-bit bucket hash of a key (independent of the value)."""
+    return int.from_bytes(
+        blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+def _combine(children: Iterable[int]) -> int:
+    h = blake2b(digest_size=DIGEST_BYTES)
+    for digest in children:
+        h.update(digest.to_bytes(DIGEST_BYTES, "big"))
+    return int.from_bytes(h.digest(), "big")
+
+
+class DigestTree:
+    """Fixed-fanout digest tree over one namespace's ``{key: value}`` set.
+
+    Node addressing: the root is the empty path ``()``; a node at level
+    ``l`` is a tuple of ``l`` base-``fanout`` digits.  Leaves sit at
+    level ``depth``.  A key's leaf is the first ``depth`` digits of its
+    bucket hash, so the same key lands in the same leaf on every replica
+    — divergence between two trees is always a key-set/value difference,
+    never a placement difference.
+    """
+
+    __slots__ = ("fanout", "depth", "leaf_count", "_leaf_acc",
+                 "_leaf_entries", "_node_cache", "_count", "stats")
+
+    def __init__(self, fanout: int = 16, depth: int = 2):
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2: {fanout}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1: {depth}")
+        self.fanout = fanout
+        self.depth = depth
+        self.leaf_count = fanout ** depth
+        self._leaf_acc: List[int] = [0] * self.leaf_count
+        # Per-leaf {key: entry_digest}; allocated lazily per bucket.
+        self._leaf_entries: List[Optional[Dict[str, int]]] = \
+            [None] * self.leaf_count
+        self._node_cache: Dict[NodePath, int] = {}
+        self._count = 0
+        self.stats = {"puts": 0, "deletes": 0, "node_recomputes": 0}
+
+    # -- key placement -------------------------------------------------------------
+
+    def path_for_key(self, key: str) -> NodePath:
+        """The leaf path (``depth`` digits) that ``key`` buckets into."""
+        h = key_hash(key)
+        digits = []
+        for _ in range(self.depth):
+            digits.append(h % self.fanout)
+            h //= self.fanout
+        return tuple(reversed(digits))
+
+    def _leaf_index(self, path: NodePath) -> int:
+        index = 0
+        for digit in path:
+            index = index * self.fanout + digit
+        return index
+
+    def is_leaf(self, path: NodePath) -> bool:
+        return len(path) == self.depth
+
+    # -- mutation ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> bool:
+        """Insert/update one entry; returns True if the digest changed."""
+        return self.put_digest(key, entry_digest(key, value))
+
+    def put_digest(self, key: str, digest: int) -> bool:
+        """Insert/update with a precomputed entry digest (mirror rebuilds)."""
+        path = self.path_for_key(key)
+        index = self._leaf_index(path)
+        entries = self._writable_leaf(index)
+        old = entries.get(key)
+        if old == digest:
+            return False
+        entries[key] = digest
+        acc = self._leaf_acc[index] ^ digest
+        if old is not None:
+            acc ^= old
+        else:
+            self._count += 1
+        self._set_leaf_acc(index, acc)
+        self._invalidate(path)
+        self.stats["puts"] += 1
+        return True
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; returns True if it was present."""
+        path = self.path_for_key(key)
+        index = self._leaf_index(path)
+        view = self._leaf_entry_map(index)
+        if not view or key not in view:
+            return False
+        old = self._writable_leaf(index).pop(key)
+        self._set_leaf_acc(index, self._leaf_acc[index] ^ old)
+        self._count -= 1
+        self._invalidate(path)
+        self.stats["deletes"] += 1
+        return True
+
+    def _invalidate(self, leaf_path: NodePath) -> None:
+        cache = self._node_cache
+        for level in range(self.depth):
+            cache.pop(leaf_path[:level], None)
+
+    # -- leaf storage hooks (OverlayTree overrides these) ----------------------------
+
+    def _leaf_entry_map(self, index: int) -> Optional[Dict[str, int]]:
+        return self._leaf_entries[index]
+
+    def _writable_leaf(self, index: int) -> Dict[str, int]:
+        entries = self._leaf_entries[index]
+        if entries is None:
+            entries = {}
+            self._leaf_entries[index] = entries
+        return entries
+
+    def _set_leaf_acc(self, index: int, acc: int) -> None:
+        self._leaf_acc[index] = acc
+
+    def _leaf_digest(self, index: int) -> int:
+        return self._leaf_acc[index]
+
+    # -- digests -------------------------------------------------------------------
+
+    def node(self, path: NodePath) -> int:
+        """Digest of the node at ``path`` (leaf accumulator or cached
+        hash over children — only dirty subtrees recompute)."""
+        path = tuple(path)
+        if len(path) == self.depth:
+            return self._leaf_digest(self._leaf_index(path))
+        if len(path) > self.depth:
+            raise ValueError(f"path {path} deeper than tree depth {self.depth}")
+        cached = self._node_cache.get(path)
+        if cached is not None:
+            return cached
+        digest = _combine(self.node(path + (i,)) for i in range(self.fanout))
+        self._node_cache[path] = digest
+        self.stats["node_recomputes"] += 1
+        return digest
+
+    def root(self) -> int:
+        return self.node(())
+
+    def children(self, path: NodePath) -> Dict[NodePath, int]:
+        """Digests of the children of an internal node, keyed by path."""
+        path = tuple(path)
+        if len(path) >= self.depth:
+            raise ValueError(f"node {path} is a leaf; it has no children")
+        return {path + (i,): self.node(path + (i,))
+                for i in range(self.fanout)}
+
+    def leaf_entries(self, path: NodePath) -> Dict[str, int]:
+        """``{key: entry_digest}`` for a leaf bucket (copy; wire-safe)."""
+        path = tuple(path)
+        if len(path) != self.depth:
+            raise ValueError(f"{path} is not a leaf path")
+        entries = self._leaf_entry_map(self._leaf_index(path))
+        return dict(entries) if entries else {}
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class OverlayTree(DigestTree):
+    """Copy-on-write view over a shared base :class:`DigestTree`.
+
+    Reads fall through to the base until a leaf bucket is written, at
+    which point only that bucket (accumulator + entry map) is copied
+    into the overlay.  A fleet of simulated gateways whose applied
+    config is identical can then share one base mirror and each pay
+    only for the buckets their own reconciliation touches.
+
+    The base tree must not be mutated while overlays exist.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: DigestTree):
+        super().__init__(base.fanout, base.depth)
+        self._base = base
+        self._count = len(base)
+
+    def _overlaid(self, index: int) -> bool:
+        return self._leaf_entries[index] is not None
+
+    def _leaf_entry_map(self, index: int) -> Optional[Dict[str, int]]:
+        entries = self._leaf_entries[index]
+        if entries is not None:
+            return entries
+        return self._base._leaf_entry_map(index)
+
+    def _writable_leaf(self, index: int) -> Dict[str, int]:
+        entries = self._leaf_entries[index]
+        if entries is None:
+            base_entries = self._base._leaf_entry_map(index)
+            entries = dict(base_entries) if base_entries else {}
+            self._leaf_entries[index] = entries
+            self._leaf_acc[index] = self._base._leaf_digest(index)
+        return entries
+
+    def _leaf_digest(self, index: int) -> int:
+        if self._overlaid(index):
+            return self._leaf_acc[index]
+        return self._base._leaf_digest(index)
+
+    def node(self, path: NodePath) -> int:
+        path = tuple(path)
+        if len(path) < self.depth and not self._subtree_overlaid(path):
+            return self._base.node(path)
+        return super().node(path)
+
+    def _subtree_overlaid(self, path: NodePath) -> bool:
+        first = self._leaf_index(path + (0,) * (self.depth - len(path)))
+        span = self.fanout ** (self.depth - len(path))
+        return any(self._leaf_entries[i] is not None
+                   for i in range(first, first + span))
+
+
+class DigestIndex:
+    """Per-namespace digest trees kept in sync with a config store.
+
+    Subscribes to the store's mutation observer at construction; a
+    namespace's tree is built from store contents on first use and
+    incrementally maintained afterwards, so the index costs nothing for
+    namespaces (or stores) that never serve digest sync.
+    """
+
+    def __init__(self, store, fanout: int = 16, depth: int = 2):
+        self.store = store
+        self.fanout = fanout
+        self.depth = depth
+        self._trees: Dict[str, DigestTree] = {}
+        self.stats = {"trees_built": 0, "incremental_updates": 0}
+        store.add_observer(self._on_mutation)
+
+    def _on_mutation(self, entry) -> None:
+        tree = self._trees.get(entry.key[0])
+        if tree is None:
+            return  # not built yet; first use will fold this mutation in
+        if entry.op == "put":
+            tree.put(entry.key[1], entry.value)
+        else:
+            tree.delete(entry.key[1])
+        self.stats["incremental_updates"] += 1
+
+    def tree(self, namespace: str) -> DigestTree:
+        tree = self._trees.get(namespace)
+        if tree is None:
+            tree = DigestTree(self.fanout, self.depth)
+            for key, value in self.store.namespace(namespace).items():
+                tree.put(key, value)
+            self._trees[namespace] = tree
+            self.stats["trees_built"] += 1
+        return tree
+
+    def root(self, namespace: str) -> int:
+        return self.tree(namespace).root()

@@ -163,18 +163,23 @@ def run_scaling_point(num_agws: int, checkin_interval: float = 60.0,
                       duration: float = 180.0, seed: int = 0,
                       provision_burst: int = 20,
                       ues_per_agw: int = 100,
-                      fleet_tick: float = 5.0) -> ScalingPoint:
+                      fleet_tick: float = 5.0,
+                      num_shards: int = 0) -> ScalingPoint:
     sim = Simulator()
     rng = RngRegistry(seed)
     network = Network(sim, rng)
     monitor = Monitor()
-    orc = Orchestrator(sim, network, "orc", monitor=monitor)
+    orc = Orchestrator(sim, network, "orc", monitor=monitor,
+                       num_shards=num_shards)
     offsets = rng.stream("checkin.offsets")
     stubs = []
     for i in range(num_agws):
         node = f"agw-{i}"
-        network.connect(node, "orc", Link(latency=0.02))
-        stubs.append(AgwStub(sim, network, node, "orc",
+        # Sharded deployments hash each gateway to its owning shard's
+        # node; unsharded ones keep the single "orc" endpoint.
+        target = orc.shard_node_for(node)
+        network.connect(node, target, Link(latency=0.02))
+        stubs.append(AgwStub(sim, network, node, target,
                              interval=checkin_interval,
                              offset=offsets.uniform(0, checkin_interval)))
     # Load every gateway with a cohort-aggregated subscriber fleet so the
@@ -200,9 +205,18 @@ def run_scaling_point(num_agws: int, checkin_interval: float = 60.0,
 
     sim.call_later(duration / 3, provision)
     sim.run(until=duration)
-    cpu = monitor.series("cpu.orc.util")
-    steady = cpu.between(checkin_interval, duration)
-    util = steady.mean() if len(steady) else 0.0
+    if num_shards > 0:
+        # The hottest shard governs capacity in a sharded control plane.
+        utils = []
+        for shard in orc.shards:
+            steady = monitor.series(f"cpu.{shard.node}.util").between(
+                checkin_interval, duration)
+            utils.append(steady.mean() if len(steady) else 0.0)
+        util = max(utils)
+    else:
+        cpu = monitor.series("cpu.orc.util")
+        steady = cpu.between(checkin_interval, duration)
+        util = steady.mean() if len(steady) else 0.0
     ok = sum(s.checkins_ok for s in stubs)
     failed = sum(s.checkins_failed for s in stubs)
     converged = sum(1 for s in stubs
@@ -219,8 +233,9 @@ def run_scaling_point(num_agws: int, checkin_interval: float = 60.0,
 
 def run_scaling(agw_counts=(50, 200, 800, 2000, FREEDOMFI_AGWS),
                 checkin_interval: float = 60.0, duration: float = 180.0,
-                seed: int = 0) -> ScalingResult:
-    points = [run_scaling_point(n, checkin_interval, duration, seed)
+                seed: int = 0, num_shards: int = 0) -> ScalingResult:
+    points = [run_scaling_point(n, checkin_interval, duration, seed,
+                                num_shards=num_shards)
               for n in agw_counts]
     return ScalingResult(points=points,
                          orchestrator_cores=OrchestratorConfig().cores)

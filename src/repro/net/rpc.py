@@ -19,6 +19,7 @@ can consume CPU model time, call other services, etc.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -28,6 +29,40 @@ from .simnet import Datagram, Network
 RPC_PORT = 50051
 DEFAULT_DEADLINE = 5.0
 DEFAULT_RETRY_INTERVAL = 0.25
+
+
+def payload_bytes(obj: Any) -> int:
+    """Deterministic wire-size estimate of an RPC payload, in bytes.
+
+    The simulated RPC layer passes Python objects by reference, so
+    nothing is actually serialized; this estimator stands in for the
+    encoded size a protobuf/JSON codec would produce — close enough in
+    shape (per-field tag overhead, length-prefixed strings, fixed-width
+    numbers) for *relative* comparisons like full-bundle vs digest sync.
+    It is pure arithmetic over the object graph: no ``id()``, no
+    ``repr`` of arbitrary objects, so the same payload always measures
+    the same on any run or platform.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return 2 + len(obj.encode("utf-8"))
+    if isinstance(obj, (bytes, bytearray)):
+        return 2 + len(obj)
+    if isinstance(obj, dict):
+        return 2 + sum(payload_bytes(k) + payload_bytes(v)
+                       for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 2 + sum(payload_bytes(item) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return 2 + sum(payload_bytes(f.name)
+                       + payload_bytes(getattr(obj, f.name))
+                       for f in dataclasses.fields(obj))
+    # Opaque object: charge a fixed envelope rather than guessing from a
+    # repr (which could embed memory addresses and break determinism).
+    return 16
 
 
 class RpcError(Exception):

@@ -1,0 +1,255 @@
+"""Digest-tree and reconcile-protocol correctness (repro.core.sync).
+
+Property tests for the Merkle-digest sync engine: digest equality must
+track content equality exactly, a reconcile walk must converge any
+divergence within tree-depth rounds, and every byte of it must be
+deterministic under a fixed seed (replayable simulations).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orchestrator import ConfigStore
+from repro.core.orchestrator.statesync import scoped
+from repro.core.sync import (
+    DigestIndex,
+    DigestMirror,
+    DigestTree,
+    OverlayTree,
+    ReconcileClient,
+    ReconcileServer,
+    canonical_bytes,
+    entry_digest,
+)
+
+KEYS = [f"k{i}" for i in range(40)]
+
+# (key, value-or-None): None means delete.  Values are small ints so
+# interleavings frequently rewrite the same key with the same value.
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(KEYS),
+              st.one_of(st.none(), st.integers(min_value=0, max_value=5))),
+    max_size=60)
+
+
+def apply_ops(tree, content, ops):
+    for key, value in ops:
+        if value is None:
+            tree.delete(key)
+            content.pop(key, None)
+        else:
+            tree.put(key, value)
+            content[key] = value
+
+
+# -- digest equality <=> content equality -----------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy, ops_strategy)
+def test_digest_equality_iff_content_equality(ops_a, ops_b):
+    tree_a, content_a = DigestTree(fanout=4, depth=2), {}
+    tree_b, content_b = DigestTree(fanout=4, depth=2), {}
+    apply_ops(tree_a, content_a, ops_a)
+    apply_ops(tree_b, content_b, ops_b)
+    assert (tree_a.root() == tree_b.root()) == (content_a == content_b)
+    assert len(tree_a) == len(content_a)
+    assert len(tree_b) == len(content_b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops_strategy)
+def test_interleaving_order_does_not_matter_only_final_content(ops):
+    tree, content = DigestTree(fanout=4, depth=2), {}
+    apply_ops(tree, content, ops)
+    rebuilt = DigestTree(fanout=4, depth=2)
+    for key, value in content.items():
+        rebuilt.put(key, value)
+    assert rebuilt.root() == tree.root()
+
+
+def test_put_identical_value_is_a_digest_noop():
+    tree = DigestTree()
+    assert tree.put("a", 1)
+    root = tree.root()
+    assert not tree.put("a", 1)
+    assert tree.root() == root
+    assert tree.put("a", 2)
+    assert tree.root() != root
+
+
+def test_delete_missing_key_is_a_noop():
+    tree = DigestTree()
+    empty_root = tree.root()
+    assert not tree.delete("ghost")
+    assert tree.root() == empty_root
+
+
+def test_entry_digest_binds_key_and_value():
+    assert entry_digest("a", 1) != entry_digest("a", 2)
+    assert entry_digest("a", 1) != entry_digest("b", 1)
+    assert entry_digest("a", "1") != entry_digest("a", 1)
+
+
+def test_canonical_bytes_rejects_opaque_objects():
+    class Opaque:
+        pass
+
+    try:
+        canonical_bytes(Opaque())
+    except TypeError:
+        pass
+    else:
+        raise AssertionError("expected TypeError for opaque object")
+
+
+def test_canonical_bytes_is_structural():
+    assert canonical_bytes({"b": 1, "a": 2}) == canonical_bytes(
+        dict([("a", 2), ("b", 1)]))
+    assert canonical_bytes([1, 2]) != canonical_bytes([2, 1])
+    assert canonical_bytes({1, 2}) == canonical_bytes({2, 1})
+
+
+# -- overlay trees -----------------------------------------------------------------
+
+
+def test_overlay_reads_through_and_copies_on_write():
+    base = DigestTree(fanout=4, depth=2)
+    for key in KEYS[:20]:
+        base.put(key, "v")
+    base_root = base.root()
+    overlay = OverlayTree(base)
+    assert overlay.root() == base_root
+    assert len(overlay) == len(base)
+    overlay.put("extra", 1)
+    assert overlay.root() != base_root
+    assert base.root() == base_root          # base untouched
+    assert base.leaf_entries(base.path_for_key("extra")).get("extra") is None
+    overlay.delete("extra")
+    assert overlay.root() == base_root
+
+
+def test_overlay_delete_of_base_key_copies_only_that_bucket():
+    base = DigestTree(fanout=4, depth=2)
+    for key in KEYS[:20]:
+        base.put(key, "v")
+    overlay = OverlayTree(base)
+    victim = KEYS[3]
+    assert overlay.delete(victim)
+    assert base.leaf_entries(base.path_for_key(victim)).get(victim)
+    assert overlay.leaf_entries(
+        overlay.path_for_key(victim)).get(victim) is None
+    assert len(overlay) == len(base) - 1
+
+
+# -- the reconcile walk ------------------------------------------------------------
+
+
+def run_reconcile(store, digests, mirror, applied, network_id="default"):
+    """Drive the sans-io walk to completion; returns (result, transcript)."""
+    server = ReconcileServer(digests, store, scoped)
+    sync = server.sync_info(network_id, mirror.roots())
+    transcript = [canonical_bytes(sorted(sync))]
+
+    def apply_delta(label, upserts, deletes, version):
+        content = applied.setdefault(label, {})
+        for key in deletes:
+            content.pop(key, None)
+        content.update(upserts)
+
+    client = ReconcileClient(mirror, apply_delta, network_id, "gw-1")
+    request = client.start({"sync": sync, "config_version": store.version})
+    while request is not None:
+        transcript.append(canonical_bytes(request))
+        response = server.handle(request)
+        response["config_version"] = store.version
+        transcript.append(canonical_bytes(response))
+        request = client.feed(response)
+    return client.result(), b"".join(transcript)
+
+
+def seeded_stores(orc_ops, gw_ops):
+    """An orchestrator store + a gateway whose applied state diverges."""
+    store = ConfigStore()
+    content = {}
+    for key, value in orc_ops:
+        if value is None:
+            if store.contains("subscribers", key):
+                store.delete("subscribers", key)
+            content.pop(key, None)
+        else:
+            store.put("subscribers", key, value)
+            content[key] = value
+    digests = DigestIndex(store, fanout=4, depth=2)
+    mirror = DigestMirror(fanout=4, depth=2)
+    applied = {"subscribers": {}}
+    for key, value in gw_ops:
+        if value is None:
+            applied["subscribers"].pop(key, None)
+        else:
+            applied["subscribers"][key] = value
+    mirror.rebuild("subscribers", applied["subscribers"])
+    return store, digests, mirror, applied, content
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy, ops_strategy)
+def test_reconcile_converges_within_depth_rounds(orc_ops, gw_ops):
+    store, digests, mirror, applied, content = seeded_stores(orc_ops, gw_ops)
+    result, _ = run_reconcile(store, digests, mirror, applied)
+    assert result.converged
+    assert result.rounds <= mirror.depth
+    # The gateway's applied state is now *exactly* the orchestrator's.
+    assert applied["subscribers"] == content
+    # And the digests agree on it.
+    server_roots = ReconcileServer(digests, store, scoped).roots("default")
+    for label, root in mirror.roots().items():
+        assert root == server_roots[label]
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops_strategy, ops_strategy)
+def test_reconcile_transcript_is_bit_identical_on_replay(orc_ops, gw_ops):
+    first = seeded_stores(orc_ops, gw_ops)
+    second = seeded_stores(orc_ops, gw_ops)
+    _, transcript_a = run_reconcile(*first[:4])
+    _, transcript_b = run_reconcile(*second[:4])
+    assert transcript_a == transcript_b
+
+
+def test_reconcile_tombstones_delete_gateway_extras():
+    store = ConfigStore()
+    store.put("subscribers", "keep", 1)
+    digests = DigestIndex(store, fanout=4, depth=2)
+    mirror = DigestMirror(fanout=4, depth=2)
+    applied = {"subscribers": {"keep": 1, "zombie-1": 9, "zombie-2": 9}}
+    mirror.rebuild("subscribers", applied["subscribers"])
+    result, _ = run_reconcile(store, digests, mirror, applied)
+    assert result.converged
+    assert result.tombstones == 2
+    assert applied["subscribers"] == {"keep": 1}
+
+
+def test_matching_namespaces_are_elided_entirely():
+    store = ConfigStore()
+    store.put("subscribers", "a", 1)
+    digests = DigestIndex(store, fanout=4, depth=2)
+    mirror = DigestMirror(fanout=4, depth=2)
+    mirror.rebuild("subscribers", {"a": 1})
+    server = ReconcileServer(digests, store, scoped)
+    assert server.sync_info("default", mirror.roots()) == {}
+
+
+def test_digest_index_tracks_store_incrementally():
+    store = ConfigStore()
+    store.put("subscribers", "pre", 1)       # before the index exists
+    digests = DigestIndex(store, fanout=4, depth=2)
+    assert digests.tree("subscribers").leaf_entries(
+        digests.tree("subscribers").path_for_key("pre"))
+    store.put("subscribers", "post", 2)      # incremental update
+    store.delete("subscribers", "pre")
+    fresh = DigestTree(fanout=4, depth=2)
+    for key, value in store.namespace("subscribers").items():
+        fresh.put(key, value)
+    assert digests.root("subscribers") == fresh.root()
+    assert digests.stats["incremental_updates"] == 2
