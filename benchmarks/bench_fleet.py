@@ -110,7 +110,7 @@ def _peak_rss_kb() -> int:
 
 
 def fleet_leg(num_agws: int, subscribers: int, sample_ues: int,
-              duration: float) -> dict:
+              duration: float, profiler=None) -> dict:
     """Cohort-aggregated population across ``num_agws`` full AGWs."""
     # AGW 0 comes from the site builder with real eNodeBs for the sampled
     # sub-population; the rest are full AccessGateways on the same sim.
@@ -131,10 +131,20 @@ def fleet_leg(num_agws: int, subscribers: int, sample_ues: int,
     if sample_ues:
         fleet.add_sample_ues("subs", site.ues)
     fleet.start()
+    if profiler is not None:
+        # bench_profile replays this leg under the self-profiler; the
+        # default path is untouched (and the canaries prove it).
+        from repro.obs.profiler import install
+        install(site.sim, profiler)
     start_events = _events_scheduled(site.sim)
     gc.collect()
     t0 = time.perf_counter()
-    site.sim.run(until=duration)
+    try:
+        site.sim.run(until=duration)
+    finally:
+        if profiler is not None:
+            from repro.obs.profiler import detach
+            detach(site.sim)
     wall = time.perf_counter() - t0
     events = _events_scheduled(site.sim) - start_events
     sessions = sum(agw.sessiond.session_count() for agw in agws)

@@ -87,7 +87,7 @@ REGRESSION_TOLERANCE = 0.20  # >20% drop vs the committed snapshot fails
 def timer_churn(n_calls: int, spacing: float = 0.0001, deadline: float = 10.0,
                 retry: float = 0.25, complete: float = 0.01,
                 cancel: bool = True, wheel: bool = True,
-                batch: int = 64) -> dict:
+                batch: int = 64, profiler=None) -> dict:
     """Pure timer churn: ``n_calls`` schedule-then-complete cycles.
 
     The deadline matches the repo's own ``rpc_deadline`` (10 s) so the rot
@@ -99,6 +99,11 @@ def timer_churn(n_calls: int, spacing: float = 0.0001, deadline: float = 10.0,
     timers queued until they fire as no-ops.
     """
     sim = Simulator(timer_wheel=wheel)
+    if profiler is not None:
+        # bench_profile replays this leg under the self-profiler; the
+        # default path is untouched (and the canaries prove it).
+        from repro.obs.profiler import install
+        install(sim, profiler)
     high_water = 0
     schedule = sim.schedule
     call_later = sim.call_later
@@ -138,7 +143,12 @@ def timer_churn(n_calls: int, spacing: float = 0.0001, deadline: float = 10.0,
     for b in range(0, n_calls, batch):
         sim.schedule(spacing * b, start, b)
     t0 = time.perf_counter()
-    sim.run()
+    try:
+        sim.run()
+    finally:
+        if profiler is not None:
+            from repro.obs.profiler import detach
+            detach(sim)
     wall = time.perf_counter() - t0
     assert sim.pending == 0, "live timers left after drain"
     ops = n_calls * 3
@@ -151,17 +161,26 @@ def timer_churn(n_calls: int, spacing: float = 0.0001, deadline: float = 10.0,
     }
 
 
-def attach_storm(n_ues: int, rate: float = 10.0, seed: int = 7) -> dict:
+def attach_storm(n_ues: int, rate: float = 10.0, seed: int = 7,
+                 profiler=None) -> dict:
     """Wall time of a full emulated-site attach storm (S1AP/NAS/RPC over
     the kernel); the success count is deterministic for a fixed seed."""
     site = build_emulated_site(num_enbs=4, num_ues=n_ues, seed=seed)
+    if profiler is not None:
+        from repro.obs.profiler import install
+        install(site.sim, profiler)
     storm = AttachStorm(site.sim, site.ues, rate_per_sec=rate,
                         monitor=site.monitor)
     storm.start()
     t0 = time.perf_counter()
-    site.sim.run_until_triggered(
-        storm.done, limit=site.sim.now + 120.0 + n_ues / rate)
-    site.sim.run(until=site.sim.now + 10.0)
+    try:
+        site.sim.run_until_triggered(
+            storm.done, limit=site.sim.now + 120.0 + n_ues / rate)
+        site.sim.run(until=site.sim.now + 10.0)
+    finally:
+        if profiler is not None:
+            from repro.obs.profiler import detach
+            detach(site.sim)
     wall = time.perf_counter() - t0
     return {
         "n_ues": n_ues,

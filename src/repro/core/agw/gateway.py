@@ -103,6 +103,12 @@ class AccessGateway:
         self.crashed = True
         self.context.network.set_node_up(self.node, False)
         self.magmad.stop()
+        rec = self.context.sim.recorder
+        if rec is not None:
+            rec.node(self.node).error(
+                "gateway", "crash",
+                sessions_lost=self.sessiond.session_count())
+            rec.snapshot(f"crash:{self.node}")
 
     def recover(self, from_checkpoint: bool = True) -> int:
         """Restart after a crash; returns the number of sessions restored.
@@ -125,6 +131,12 @@ class AccessGateway:
                 restored = self.sessiond.restore(snapshot["sessions"])
                 self.magmad.config_version = snapshot.get("config_version", 0)
         self.magmad.start()
+        rec = self.context.sim.recorder
+        if rec is not None:
+            rec.node(self.node).info(
+                "gateway", "restore", sessions_restored=restored,
+                from_checkpoint=from_checkpoint)
+            rec.snapshot(f"restore:{self.node}")
         return restored
 
     def _wipe_runtime_state(self) -> None:
@@ -166,6 +178,12 @@ class AccessGateway:
             "checkin_rx_bytes": float(self.magmad.stats["checkin_rx_bytes"]),
         }
         monitor = self.context.monitor
+        cpu_series = f"cpu.{self.node}.util"
+        if monitor.has_series(cpu_series):
+            series = monitor.series(cpu_series)
+            if series.count:
+                # CPU headroom input for the orchestrator's health engine.
+                metrics["cpu_util"] = series.last()
         metrics.update(monitor.counters())
         metrics.update(monitor.gauges())
         return metrics

@@ -70,6 +70,10 @@ class Magmad:
         self._metrics_buffer: Deque[Dict[str, Any]] = deque(
             maxlen=context.config.metrics_buffer_max)
         self._metrics_seq = 0
+        # High-water mark of shipped attach-latency samples: each buffered
+        # batch carries only rows recorded strictly after the previous one
+        # (the window is exclusive, so boundary samples never duplicate).
+        self._latency_since = -1.0
         # Digest trees over the *applied* config (repro.core.sync): every
         # check-in carries their roots so the orchestrator can elide
         # in-sync namespaces and reconcile divergent ones by tree walk.
@@ -232,12 +236,38 @@ class Magmad:
     def _buffer_metrics(self) -> None:
         """Snapshot current metrics into the seq-numbered backlog."""
         self._metrics_seq += 1
-        self._metrics_buffer.append({
+        entry = {
             "seq": self._metrics_seq,
             "time": self.context.sim.now,
             "metrics": self.gateway.metrics_summary(),
-        })
+        }
+        latency = self._collect_latency()
+        if latency:
+            entry["latency"] = latency
+        self._metrics_buffer.append(entry)
         self.stats["metrics_buffered"] += 1
+
+    #: Newest latency rows shipped per batch (distribution samples are
+    #: best-effort telemetry; a huge storm ships its tail, not its bulk).
+    LATENCY_ROWS_PER_BATCH = 200
+
+    def _collect_latency(self) -> Dict[str, List[list]]:
+        """Attach-latency rows recorded since the last buffered batch.
+
+        Rows are ``[time, value, trace_id|None]`` — the trace id is the
+        sample's exemplar, carried through metricsd so the orchestrator's
+        p99 stays resolvable to a real trace.
+        """
+        monitor = self.context.monitor
+        name = f"attach.latency.{self.context.node}"
+        if not monitor.has_series(name):
+            return {}
+        rows = monitor.series(name).recent_samples(self._latency_since)
+        self._latency_since = self.context.sim.now
+        if not rows:
+            return {}
+        rows = rows[-self.LATENCY_ROWS_PER_BATCH:]
+        return {"attach_latency_s": [[t, v, tid] for t, v, tid in rows]}
 
     def _ack_metrics(self, ack: Optional[int]) -> None:
         if ack is None:

@@ -410,6 +410,16 @@ class AccessManagement:
                 ue_context.imsi, ue_context.frontend.name,
                 ue_context.frontend.location_of(ue_context.ue_ref))
         self.context.monitor.count("mme.attach_accepted")
+        # Attach latency with exemplar: the ambient span context (when
+        # tracing is on) rides along as the sample's trace id, so the
+        # orchestrator's p99 can be resolved back to this exact attach.
+        sim = self.context.sim
+        now = sim.now
+        ctx = sim.ctx
+        self.context.monitor.bounded_series(
+            f"attach.latency.{self.context.node}", 4096).record(
+            now, now - ue_context.attach_started,
+            trace_id=ctx.trace_id if ctx is not None else None)
 
     def _on_detach(self, ue_context: MmeUeContext,
                    message: nas.DetachRequest) -> None:

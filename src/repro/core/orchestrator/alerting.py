@@ -7,8 +7,8 @@ defined").  Operators consume these alerts through the northbound API.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,7 @@ class AlertRule:
 def metric_threshold_rule(metricsd, *, name: str, metric: str,
                           threshold: float, above: bool = True,
                           label: str = "gateway_id",
+                          for_duration: float = 0.0,
                           message: str = "") -> AlertRule:
     """An :class:`AlertRule` over ingested metricsd series.
 
@@ -38,18 +39,56 @@ def metric_threshold_rule(metricsd, *, name: str, metric: str,
     the latest sample of ``metric`` crosses ``threshold`` — strictly above
     when ``above`` is True, strictly below otherwise.  Label sets without
     ``label`` fall back to a stringified label dict as the subject.
+
+    ``for_duration`` adds hysteresis: a subject only *starts* firing once
+    the crossing has been sustained (latest sample plus the unbroken run
+    of crossing samples behind it spans at least ``for_duration`` of
+    capture time), so one noisy sample cannot flap an alert.  Once firing,
+    the subject stays firing until a sample lands back on the safe side —
+    a single recovered sample resolves, matching Prometheus ``for:``.
+
+    A series that is *known* but currently has no samples in retention is
+    skipped entirely: the subject keeps its previous firing state rather
+    than silently resolving on missing data.
     """
+    firing: Set[str] = set()
+
+    def crosses(value: float) -> bool:
+        return (value > threshold) if above else (value < threshold)
 
     def evaluate() -> List[str]:
-        subjects = []
+        seen = set()
         for labels in metricsd.label_sets(metric):
+            subject = labels.get(label, str(labels))
+            seen.add(subject)
             sample = metricsd.latest(metric, labels or None)
             if sample is None:
+                # Known series with nothing in retention: no data is not
+                # evidence of recovery — hold the previous state.
                 continue
-            if (sample.value > threshold) if above else \
-                    (sample.value < threshold):
-                subjects.append(labels.get(label, str(labels)))
-        return sorted(subjects)
+            if not crosses(sample.value):
+                firing.discard(subject)
+                continue
+            if subject in firing or for_duration <= 0.0:
+                firing.add(subject)
+                continue
+            # Sustained-crossing check: walk back through samples sorted
+            # by capture time while they keep crossing.
+            samples = sorted(metricsd.query(metric, labels or None),
+                             key=lambda s: s.time)
+            held_since = sample.time
+            for prev in reversed(samples):
+                if prev.time > sample.time:
+                    continue
+                if not crosses(prev.value):
+                    break
+                held_since = prev.time
+            if sample.time - held_since >= for_duration:
+                firing.add(subject)
+        # Subjects whose label set vanished wholesale (e.g. a re-keyed
+        # fleet) do resolve: there is no longer a series to watch.
+        firing.intersection_update(seen)
+        return sorted(firing)
 
     comparison = ">" if above else "<"
     return AlertRule(name=name, evaluate=evaluate,
@@ -58,13 +97,21 @@ def metric_threshold_rule(metricsd, *, name: str, metric: str,
 
 
 class AlertManager:
-    """Evaluates rules; deduplicates active alerts until they resolve."""
+    """Evaluates rules; deduplicates active alerts until they resolve.
 
-    def __init__(self, clock=None):
+    ``recorder`` is an optional zero-arg callable returning the installed
+    flight recorder (or None): every newly raised alert then logs a record
+    and freezes a ring snapshot, so the operator sees the events leading
+    up to the firing, not just the firing itself.
+    """
+
+    def __init__(self, clock=None, recorder=None):
         self._clock = clock or (lambda: 0.0)
+        self._recorder = recorder
         self._rules: Dict[str, AlertRule] = {}
         self._active: Dict[tuple, Alert] = {}
         self._history: List[Alert] = []
+        self.stats = {"evaluations": 0, "rule_errors": 0}
 
     def add_rule(self, rule: AlertRule) -> None:
         if rule.name in self._rules:
@@ -72,12 +119,27 @@ class AlertManager:
         self._rules[rule.name] = rule
 
     def evaluate(self) -> List[Alert]:
-        """Run all rules; returns newly raised alerts."""
+        """Run all rules; returns newly raised alerts.
+
+        A rule that raises is skipped for this round — its error is
+        counted in ``stats['rule_errors']`` and its currently active
+        alerts are kept firing (an evaluation failure must never silently
+        resolve an alert, and must not abort the other rules).
+        """
         now = self._clock()
+        self.stats["evaluations"] += 1
         new_alerts: List[Alert] = []
         still_firing = set()
         for rule in self._rules.values():
-            for subject in rule.evaluate():
+            try:
+                subjects = rule.evaluate()
+            except Exception:  # one bad rule must not mute the others
+                self.stats["rule_errors"] += 1
+                for key in self._active:
+                    if key[0] == rule.name:
+                        still_firing.add(key)
+                continue
+            for subject in subjects:
                 key = (rule.name, subject)
                 still_firing.add(key)
                 if key not in self._active:
@@ -87,11 +149,23 @@ class AlertManager:
                     self._active[key] = alert
                     self._history.append(alert)
                     new_alerts.append(alert)
+                    self._snapshot(alert)
         # Resolve alerts whose condition cleared.
         for key in list(self._active):
             if key not in still_firing:
                 del self._active[key]
         return new_alerts
+
+    def _snapshot(self, alert: Alert) -> None:
+        if self._recorder is None:
+            return
+        rec = self._recorder()
+        if rec is None:
+            return
+        rec.node("alertmanager").warn(
+            "alerting", "alert.raised", rule=alert.rule_name,
+            subject=alert.subject, message=alert.message)
+        rec.snapshot(f"alert:{alert.rule_name}:{alert.subject}")
 
     def active_alerts(self) -> List[Alert]:
         return list(self._active.values())

@@ -24,6 +24,7 @@ def _freeze(labels: Optional[Dict[str, str]]) -> Labels:
 class Sample:
     time: float
     value: float
+    trace_id: Optional[int] = None
 
 
 class Metricsd:
@@ -34,6 +35,11 @@ class Metricsd:
         self.retention = retention
         self.max_samples = max_samples_per_series
         self._series: Dict[Tuple[str, Labels], Deque[Sample]] = {}
+        # Newest-by-capture-time sample per series.  Deques hold samples in
+        # *arrival* order, and metric back-fill delivers old samples late —
+        # "latest" must mean newest capture time, not last arrival, or a
+        # recovering gateway's back-fill would flip alerts onto stale data.
+        self._latest: Dict[Tuple[str, Labels], Sample] = {}
         # High-water ingest time: back-filled samples (headless gaps) carry
         # capture times older than "now", so retention is judged against the
         # newest time ever seen, not against each sample's own time.
@@ -41,7 +47,8 @@ class Metricsd:
         self.stats = {"ingested": 0, "dropped_old": 0}
 
     def ingest(self, name: str, value: float, time: float,
-               labels: Optional[Dict[str, str]] = None) -> None:
+               labels: Optional[Dict[str, str]] = None,
+               trace_id: Optional[int] = None) -> None:
         if time > self._now:
             self._now = time
         elif self._now - time > self.retention:
@@ -53,20 +60,41 @@ class Metricsd:
         if series is None:
             series = deque()
             self._series[key] = series
-        series.append(Sample(time=time, value=value))
+        sample = Sample(time=time, value=value, trace_id=trace_id)
+        series.append(sample)
+        cur = self._latest.get(key)
+        if cur is None or time >= cur.time:
+            self._latest[key] = sample
         self.stats["ingested"] += 1
-        self._evict(series, self._now)
+        self._evict(key, series, self._now)
 
     def ingest_bundle(self, metrics: Dict[str, float], time: float,
                       labels: Optional[Dict[str, str]] = None) -> None:
         for name, value in metrics.items():
             self.ingest(name, value, time, labels)
 
-    def _evict(self, series: Deque[Sample], now: float) -> None:
+    def _evict(self, key: Tuple[str, Labels], series: Deque[Sample],
+               now: float) -> None:
+        latest = self._latest.get(key)
+        evicted_latest = False
         while series and (now - series[0].time > self.retention
                           or len(series) > self.max_samples):
-            series.popleft()
+            if series.popleft() is latest:
+                evicted_latest = True
             self.stats["dropped_old"] += 1
+        if not series:
+            # Retention drained the series; drop the stale latest cache but
+            # keep the (now empty) deque registered so label_sets/latest
+            # still report the series as *known* — alert rules treat "known
+            # but sampleless" as skip, not as resolved.
+            self._latest.pop(key, None)
+            return
+        if evicted_latest:
+            best = series[0]
+            for s in series:
+                if s.time >= best.time:
+                    best = s
+            self._latest[key] = best
 
     # -- queries ---------------------------------------------------------------
 
@@ -76,10 +104,12 @@ class Metricsd:
 
     def latest(self, name: str,
                labels: Optional[Dict[str, str]] = None) -> Optional[Sample]:
-        series = self._series.get((name, _freeze(labels)))
-        if not series:
-            return None
-        return series[-1]
+        """Newest sample by capture time (None for empty/unknown series).
+
+        Robust to out-of-order arrival: a late back-filled sample older
+        than what is already stored never becomes "latest".
+        """
+        return self._latest.get((name, _freeze(labels)))
 
     def series_names(self) -> List[str]:
         return sorted({name for (name, _labels) in self._series})
@@ -90,7 +120,7 @@ class Metricsd:
     def sum_latest(self, name: str) -> float:
         """Sum of the latest sample across all label sets of ``name``."""
         total = 0.0
-        for key, series in self._series.items():
-            if key[0] == name and series:
-                total += series[-1].value
+        for key, latest in self._latest.items():
+            if key[0] == name:
+                total += latest.value
         return total

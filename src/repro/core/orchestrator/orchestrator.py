@@ -46,6 +46,7 @@ from .statesync import (
     NS_POLICIES,
     NS_RAN,
     NS_SUBSCRIBERS,
+    ConvergenceTracker,
     StateSync,
     scoped,
 )
@@ -99,6 +100,9 @@ class Orchestrator:
                             monitor=self.monitor, name=node)
         self.store = ConfigStore()
         self.digests = DigestIndex(self.store) if digest_sync else None
+        # Publish→all-applied lag tracker, shared by every shard's
+        # StateSync; its metricsd sink is attached below once one exists.
+        self.convergence = ConvergenceTracker(sim, monitor=self.monitor)
         self.shards: List[OrchestratorShard] = []
         self.router: Optional[ShardRouter] = None
         if num_shards > 0:
@@ -113,7 +117,8 @@ class Orchestrator:
                 shard_sync = StateSync(sim, self.store, shard_metricsd,
                                        digest_sync=digest_sync,
                                        digests=self.digests,
-                                       monitor=self.monitor)
+                                       monitor=self.monitor,
+                                       convergence=self.convergence)
                 shard_cpu = CpuModel(sim, cores=shard_cores,
                                      quantum=self.config.quantum,
                                      monitor=self.monitor, name=shard_node)
@@ -140,9 +145,17 @@ class Orchestrator:
             self.statesync = StateSync(sim, self.store, self.metricsd,
                                        digest_sync=digest_sync,
                                        digests=self.digests,
-                                       monitor=self.monitor)
+                                       monitor=self.monitor,
+                                       convergence=self.convergence)
+        # Convergence-lag samples land in one concrete store: the first
+        # shard's when sharded (the merged view reads across shards), the
+        # single store otherwise.
+        self.convergence.metricsd = self.shards[0].metricsd \
+            if self.shards else self.metricsd
         self.bootstrapper = Bootstrapper(clock=lambda: sim.now)
-        self.alerts = AlertManager(clock=lambda: sim.now)
+        self.alerts = AlertManager(
+            clock=lambda: sim.now,
+            recorder=lambda: self.sim.recorder)
         self.alerts.add_rule(AlertRule(
             name="gateway-offline",
             evaluate=lambda: self.statesync.offline_gateways(
@@ -156,6 +169,11 @@ class Orchestrator:
             self.metricsd, name="attach-rejections",
             metric="attach_rejected", threshold=0.0, above=True,
             message="gateway has rejected attach attempts"))
+        # Windowed health/SLO scoring over the state assembled above.
+        # Deferred import: obs.health is a consumer of orchestrator state
+        # and must not become a load-time dependency cycle.
+        from ...obs.health import HealthEngine
+        self.health = HealthEngine(self)
         self.server = RpcServer(sim, network, node)
         self.server.register("statesync", "checkin", self._checkin_handler)
         self.server.register("statesync", "reconcile",
@@ -259,13 +277,14 @@ class Orchestrator:
         deployments; gateways only receive their own network's config.
         """
         self._charge_northbound()
-        return self.store.put(scoped(NS_SUBSCRIBERS, network_id),
-                              profile.imsi, profile)
+        return self._published(network_id, self.store.put(
+            scoped(NS_SUBSCRIBERS, network_id), profile.imsi, profile))
 
     def delete_subscriber(self, imsi: str,
                           network_id: str = DEFAULT_NETWORK) -> int:
         self._charge_northbound()
-        return self.store.delete(scoped(NS_SUBSCRIBERS, network_id), imsi)
+        return self._published(network_id, self.store.delete(
+            scoped(NS_SUBSCRIBERS, network_id), imsi))
 
     def get_subscriber(self, imsi: str,
                        network_id: str = DEFAULT_NETWORK
@@ -278,18 +297,25 @@ class Orchestrator:
     def upsert_policy(self, policy: PolicyRule,
                       network_id: str = DEFAULT_NETWORK) -> int:
         self._charge_northbound()
-        return self.store.put(scoped(NS_POLICIES, network_id),
-                              policy.policy_id, policy)
+        return self._published(network_id, self.store.put(
+            scoped(NS_POLICIES, network_id), policy.policy_id, policy))
 
     def delete_policy(self, policy_id: str,
                       network_id: str = DEFAULT_NETWORK) -> int:
         self._charge_northbound()
-        return self.store.delete(scoped(NS_POLICIES, network_id), policy_id)
+        return self._published(network_id, self.store.delete(
+            scoped(NS_POLICIES, network_id), policy_id))
 
     def set_ran_config(self, key: str, value: Any,
                        network_id: str = DEFAULT_NETWORK) -> int:
         self._charge_northbound()
-        return self.store.put(scoped(NS_RAN, network_id), key, value)
+        return self._published(network_id, self.store.put(
+            scoped(NS_RAN, network_id), key, value))
+
+    def _published(self, network_id: str, version: int) -> int:
+        """Note a northbound write so convergence lag is measured from it."""
+        self.convergence.note_publish(network_id, version)
+        return version
 
     def list_gateways(self) -> List[Dict[str, Any]]:
         return [{
@@ -312,6 +338,10 @@ class Orchestrator:
     def query_metric(self, name: str,
                      labels: Optional[Dict[str, str]] = None):
         return self.metricsd.query(name, labels)
+
+    def health_report(self) -> Dict[str, Any]:
+        """Northbound: per-AGW, per-shard, and fleet health scores."""
+        return self.health.report()
 
     def evaluate_alerts(self):
         return self.alerts.evaluate()

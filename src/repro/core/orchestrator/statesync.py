@@ -72,11 +72,15 @@ class StateSync:
                  metricsd: Optional[Metricsd] = None,
                  digest_sync: bool = True,
                  digests: Optional[DigestIndex] = None,
-                 monitor: Optional[Monitor] = None):
+                 monitor: Optional[Monitor] = None,
+                 convergence: Optional["ConvergenceTracker"] = None):
         self.sim = sim
         self.store = store
         self.metricsd = metricsd
         self.monitor = monitor
+        # Shared publish->all-applied lag tracker (one per orchestrator,
+        # shared across shards); fed on every check-in.
+        self.convergence = convergence
         # digest_sync=False is the escape hatch mirroring
         # Simulator(timer_wheel=False): byte-identical event order to the
         # pre-digest protocol, for A/B runs and bisection.
@@ -137,6 +141,9 @@ class StateSync:
         self._by_recency.move_to_end(gateway_id)
         self._applied_bucket(state).add(gateway_id)
         self.stats["checkins"] += 1
+        if self.convergence is not None:
+            self.convergence.note_applied(state.network_id, gateway_id,
+                                          state.config_version)
         span = tracer_of(self.sim).child("statesync.checkin",
                                          component="statesync",
                                          tags={"gateway_id": gateway_id})
@@ -155,6 +162,16 @@ class StateSync:
                     self.metricsd.ingest_bundle(
                         entry["metrics"], entry["time"],
                         labels={"gateway_id": gateway_id})
+                    # Latency distributions ride next to the scalar bundle:
+                    # {series: [[time, value, trace_id|None], ...]}.  Each
+                    # row lands at its capture time, carrying its exemplar
+                    # trace id through to metricsd.
+                    for name, rows in (entry.get("latency") or {}).items():
+                        for row in rows:
+                            self.metricsd.ingest(
+                                name, row[1], row[0],
+                                labels={"gateway_id": gateway_id},
+                                trace_id=row[2] if len(row) > 2 else None)
                 state.last_metrics_seq = seq
             response["metrics_ack"] = state.last_metrics_seq
         else:
@@ -394,3 +411,97 @@ class StateSync:
             self._by_recency[state.gateway_id] = state
             self._applied_bucket(state).add(state.gateway_id)
         return len(self._gateways)
+
+
+class ConvergenceTracker:
+    """Publish→all-applied convergence lag as a first-class series.
+
+    The desired-state model's core health question is not "did the push
+    arrive" (pushes are allowed to be lost) but "how long until every
+    gateway's applied version caught up with a publish".  The orchestrator
+    calls :meth:`note_publish` on every northbound write; every check-in
+    reports the gateway's applied version through :meth:`note_applied`.
+    When the fleet-wide applied *floor* crosses a pending publish, the
+    publish is converged and its lag lands in the ``sync.convergence.lag_s``
+    series (monitor and/or metricsd, labelled by network).
+
+    A gateway counts toward the floor from its first check-in onward, so a
+    fleet member that goes dark holds its network's publishes pending —
+    which is exactly the visibility the health engine wants: the pending
+    age *is* the convergence lag the operator is living with.
+    """
+
+    SERIES = "sync.convergence.lag_s"
+
+    def __init__(self, sim: Simulator, monitor: Optional[Monitor] = None,
+                 metricsd: Optional[Metricsd] = None):
+        self.sim = sim
+        self.monitor = monitor
+        self.metricsd = metricsd
+        # network -> publish version -> publish time, oldest publish first.
+        self._pending: Dict[str, "OrderedDict[int, float]"] = {}
+        # network -> gateway id -> last applied version seen at check-in.
+        self._applied: Dict[str, Dict[str, int]] = {}
+        self.last_lag: Dict[str, float] = {}
+        self.stats = {"publishes": 0, "converged": 0}
+
+    def note_publish(self, network_id: str, version: int) -> None:
+        pending = self._pending.setdefault(network_id, OrderedDict())
+        if version in pending:
+            return
+        pending[version] = self.sim.now
+        self.stats["publishes"] += 1
+
+    def note_applied(self, network_id: str, gateway_id: str,
+                     version: int) -> None:
+        applied = self._applied.setdefault(network_id, {})
+        if applied.get(gateway_id) == version:
+            return  # steady-state check-in: nothing moved
+        applied[gateway_id] = version
+        pending = self._pending.get(network_id)
+        if not pending:
+            return
+        floor = min(applied.values())
+        now = self.sim.now
+        while pending:
+            oldest_version, published = next(iter(pending.items()))
+            if oldest_version > floor:
+                break
+            pending.popitem(last=False)
+            lag = now - published
+            self.last_lag[network_id] = lag
+            self.stats["converged"] += 1
+            if self.monitor is not None:
+                self.monitor.series(self.SERIES).record(now, lag)
+            if self.metricsd is not None:
+                self.metricsd.ingest(self.SERIES, lag, now,
+                                     labels={"network_id": network_id})
+
+    # -- health-engine queries -------------------------------------------------
+
+    def pending_count(self, network_id: str = DEFAULT_NETWORK) -> int:
+        return len(self._pending.get(network_id, ()))
+
+    def pending_networks(self) -> List[str]:
+        """Networks with at least one unconverged publish."""
+        return [network_id for network_id, pending in self._pending.items()
+                if pending]
+
+    def oldest_pending_age(self, network_id: str = DEFAULT_NETWORK) -> float:
+        """Seconds the oldest unconverged publish has been waiting (0 when
+        fully converged): the live convergence lag."""
+        pending = self._pending.get(network_id)
+        if not pending:
+            return 0.0
+        return self.sim.now - next(iter(pending.values()))
+
+    def oldest_unapplied_publish(self, network_id: str,
+                                 applied_version: int) -> Optional[float]:
+        """Publish time of the oldest pending version a gateway at
+        ``applied_version`` has not applied yet (None if caught up)."""
+        pending = self._pending.get(network_id)
+        if pending:
+            for version, published in pending.items():
+                if version > applied_version:
+                    return published
+        return None

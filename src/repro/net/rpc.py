@@ -23,12 +23,36 @@ import dataclasses
 import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..obs import profiler as _profiler
 from ..sim.kernel import Event, Simulator
 from .simnet import Datagram, Network
 
 RPC_PORT = 50051
 DEFAULT_DEADLINE = 5.0
 DEFAULT_RETRY_INTERVAL = 0.25
+
+
+def _payload_bytes(obj: Any) -> int:
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return 2 + len(obj.encode("utf-8"))
+    if isinstance(obj, (bytes, bytearray)):
+        return 2 + len(obj)
+    if isinstance(obj, dict):
+        return 2 + sum(_payload_bytes(k) + _payload_bytes(v)
+                       for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 2 + sum(_payload_bytes(item) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return 2 + sum(_payload_bytes(f.name)
+                       + _payload_bytes(getattr(obj, f.name))
+                       for f in dataclasses.fields(obj))
+    # Opaque object: charge a fixed envelope rather than guessing from a
+    # repr (which could embed memory addresses and break determinism).
+    return 16
 
 
 def payload_bytes(obj: Any) -> int:
@@ -42,27 +66,19 @@ def payload_bytes(obj: Any) -> int:
     It is pure arithmetic over the object graph: no ``id()``, no
     ``repr`` of arbitrary objects, so the same payload always measures
     the same on any run or platform.
+
+    The wrapper exists for the self-profiler: the recursion stays inside
+    ``_payload_bytes`` so only the entry point pays the scope cost, and
+    the profiled and unprofiled paths compute identical sizes.
     """
-    if obj is None or isinstance(obj, bool):
-        return 1
-    if isinstance(obj, (int, float)):
-        return 8
-    if isinstance(obj, str):
-        return 2 + len(obj.encode("utf-8"))
-    if isinstance(obj, (bytes, bytearray)):
-        return 2 + len(obj)
-    if isinstance(obj, dict):
-        return 2 + sum(payload_bytes(k) + payload_bytes(v)
-                       for k, v in obj.items())
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 2 + sum(payload_bytes(item) for item in obj)
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return 2 + sum(payload_bytes(f.name)
-                       + payload_bytes(getattr(obj, f.name))
-                       for f in dataclasses.fields(obj))
-    # Opaque object: charge a fixed envelope rather than guessing from a
-    # repr (which could embed memory addresses and break determinism).
-    return 16
+    prof = _profiler.ACTIVE
+    if prof is None:
+        return _payload_bytes(obj)
+    prof.push("rpc.serialize")
+    try:
+        return _payload_bytes(obj)
+    finally:
+        prof.pop()
 
 
 class RpcError(Exception):
@@ -116,6 +132,17 @@ class RpcServer:
     # -- internals ---------------------------------------------------------------
 
     def _handle(self, dgram: Datagram) -> None:
+        prof = _profiler.ACTIVE
+        if prof is None:
+            self._dispatch(dgram)
+            return
+        prof.push("rpc.deliver")
+        try:
+            self._dispatch(dgram)
+        finally:
+            prof.pop()
+
+    def _dispatch(self, dgram: Datagram) -> None:
         request_id, service, method, payload, reply_node, reply_port, ctx = \
             dgram.payload
         cached = self._response_cache.get(request_id)
@@ -256,6 +283,17 @@ class RpcChannel:
              deadline: float = DEFAULT_DEADLINE) -> Event:
         """Issue a call; the returned event succeeds with the response or
         fails with :class:`RpcError`."""
+        prof = _profiler.ACTIVE
+        if prof is None:
+            return self._call(service, method, request, deadline)
+        prof.push("rpc.call")
+        try:
+            return self._call(service, method, request, deadline)
+        finally:
+            prof.pop()
+
+    def _call(self, service: str, method: str, request: Any,
+              deadline: float) -> Event:
         self.stats["calls"] += 1
         request_id = (self.local, self.port, next(RpcChannel._request_ids))
         done = self.sim.event(f"rpc:{service}/{method}")

@@ -18,6 +18,18 @@ from .analysis import (
     procedure_summary,
 )
 from .export import to_chrome_trace, write_chrome_trace
+from .flightrec import (
+    NOOP_LOG,
+    NOOP_RECORDER,
+    FlightRecorder,
+    LogRecord,
+    NodeLog,
+    recorder_of,
+)
+from .health import HealthEngine, HealthSlo, health_rule
+from .profiler import Profiler
+from .profiler import detach as detach_profiler
+from .profiler import install as install_profiler
 from .tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
@@ -30,18 +42,30 @@ from .tracing import (
 )
 
 __all__ = [
+    "NOOP_LOG",
+    "NOOP_RECORDER",
     "NOOP_SPAN",
     "NOOP_TRACER",
+    "FlightRecorder",
+    "HealthEngine",
+    "HealthSlo",
+    "LogRecord",
+    "NodeLog",
     "NoopSpan",
     "NoopTracer",
+    "Profiler",
     "Span",
     "SpanContext",
     "TraceView",
     "Tracer",
     "aggregate_breakdown",
     "build_traces",
+    "detach_profiler",
     "format_summary",
+    "health_rule",
+    "install_profiler",
     "procedure_summary",
+    "recorder_of",
     "to_chrome_trace",
     "tracer_of",
     "write_chrome_trace",

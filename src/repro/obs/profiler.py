@@ -1,0 +1,215 @@
+"""Wall-clock self-profiler: attribute host CPU time to subsystems.
+
+"As fast as the hardware allows" is a claim until it is a breakdown.
+This module turns a run into flame-style per-subsystem shares of host
+wall-clock time — kernel dispatch vs. timer wheel vs. RPC serialization
+vs. digest hashing vs. fleet ticks vs. tracer overhead — committed per-PR
+as ``BENCH_profile.json`` so regressions show up as a share shift, not a
+vibe.
+
+Two integration layers, both following the SimSan enable/disable design:
+
+- **Kernel**: :func:`install` swaps the simulator's class to
+  :class:`_ProfiledSimulator` (empty ``__slots__``), whose overridden
+  ``run``/``_execute``/wheel methods bracket the hot paths with
+  :meth:`Profiler.push`/:meth:`Profiler.pop`.  The base class is
+  untouched, so the profiler-off path is byte-identical to today's
+  kernel — the bench canaries prove it.
+- **Subsystems** (RPC, digest sync, fleet ticks, tracer): module-level
+  hooks read ``profiler.ACTIVE``; when it is ``None`` (the default) the
+  cost is one global load and an ``is None`` test.
+
+Accounting is *self-time*: entering a child scope charges the elapsed
+slice to the parent, so a scope's number is time spent in its own code,
+and flame paths (``kernel.loop;kernel.dispatch;rpc.deliver``) preserve
+the nesting.  The profiler deliberately reads the host clock
+(``time.perf_counter``) — it measures the simulator, it does not run
+inside it, and nothing in simulation behaviour may depend on its
+readings.  Those calls carry ``reprolint`` pragmas for exactly that
+reason.
+
+Only one profiler can be active per process (the ``ACTIVE`` global is
+how zero-touch subsystem hooks find it); :func:`detach` restores both
+the simulator class and the global.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Dict, List, Optional
+
+from ..sim.kernel import SimulationError, Simulator
+
+# The process-wide active profiler; subsystem hooks poll this.  None when
+# profiling is off, which must stay the cheap path.
+ACTIVE: Optional["Profiler"] = None
+
+
+class Profiler:
+    """Scoped self-time counters keyed by flame path."""
+
+    __slots__ = ("self_s", "calls", "_stack", "_mark")
+
+    def __init__(self):
+        self.self_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._mark = 0.0
+
+    # The two perf_counter() reads below are the profiler's entire contact
+    # with the host clock.  They are exempt from the no-wallclock rule by
+    # design: the profiler measures the simulator from outside, and no
+    # simulated behaviour may depend on its readings (the byte-identical
+    # disabled-path canaries in BENCH_profile.json enforce that).
+
+    def push(self, key: str) -> None:
+        """Enter scope ``key``; charges the elapsed slice to the parent."""
+        now = time.perf_counter()  # reprolint: disable=no-wallclock
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
+            self.self_s[parent] = \
+                self.self_s.get(parent, 0.0) + (now - self._mark)
+            path = parent + ";" + key
+        else:
+            path = key
+        stack.append(path)
+        self.calls[path] = self.calls.get(path, 0) + 1
+        self._mark = now
+
+    def pop(self) -> None:
+        """Leave the current scope; charges the elapsed slice to it."""
+        now = time.perf_counter()  # reprolint: disable=no-wallclock
+        path = self._stack.pop()
+        self.self_s[path] = self.self_s.get(path, 0.0) + (now - self._mark)
+        self._mark = now
+
+    def reset(self) -> None:
+        self.self_s.clear()
+        self.calls.clear()
+        del self._stack[:]
+        self._mark = 0.0
+
+    # -- reporting -------------------------------------------------------------
+
+    def subsystems(self) -> Dict[str, Dict[str, float]]:
+        """Self-time aggregated by leaf scope key (last flame segment)."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for path, secs in self.self_s.items():
+            leaf = path.rsplit(";", 1)[-1]
+            row = agg.get(leaf)
+            if row is None:
+                row = agg.setdefault(leaf, {"self_s": 0.0, "calls": 0})
+            row["self_s"] += secs
+            row["calls"] += self.calls.get(path, 0)
+        return agg
+
+    def report(self) -> Dict[str, Any]:
+        """Shares per subsystem plus the raw flame rows, largest first."""
+        total = sum(self.self_s.values())
+        subsystems = {}
+        for leaf, row in sorted(self.subsystems().items(),
+                                key=lambda kv: -kv[1]["self_s"]):
+            subsystems[leaf] = {
+                "self_s": row["self_s"],
+                "share": row["self_s"] / total if total > 0 else 0.0,
+                "calls": row["calls"],
+            }
+        flame = [{"path": path, "self_s": secs,
+                  "calls": self.calls.get(path, 0)}
+                 for path, secs in sorted(self.self_s.items(),
+                                          key=lambda kv: -kv[1])]
+        return {"total_s": total, "subsystems": subsystems, "flame": flame}
+
+
+class _ProfiledSimulator(Simulator):
+    """Simulator with profiled dispatch.
+
+    Uses the generic ``_surface()`` event loop rather than the base
+    class's inlined one; both implement the identical total order (the
+    parity test pins this), so profiling never perturbs event order —
+    only wall-clock attribution differs.
+    """
+
+    __slots__ = ()
+
+    def run(self, until: Optional[float] = None) -> float:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        prof = self._prof
+        prof.push("kernel.loop")
+        try:
+            while True:
+                entry = self._surface()
+                if entry is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and entry.when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = entry.when
+                self._execute(entry)
+        finally:
+            prof.pop()
+            self._running = False
+        return self._now
+
+    def _execute(self, entry) -> None:
+        prof = self._prof
+        prof.push("kernel.dispatch")
+        try:
+            Simulator._execute(self, entry)
+        finally:
+            prof.pop()
+
+    def _flush_far(self) -> None:
+        prof = self._prof
+        prof.push("kernel.timer_wheel")
+        try:
+            Simulator._flush_far(self)
+        finally:
+            prof.pop()
+
+    def _wheel_flush_min(self) -> None:
+        prof = self._prof
+        prof.push("kernel.timer_wheel")
+        try:
+            Simulator._wheel_flush_min(self)
+        finally:
+            prof.pop()
+
+
+def _install(sim: Simulator, profiler: Profiler) -> Profiler:
+    """Swap ``sim`` onto the profiled subclass and set the ACTIVE global."""
+    global ACTIVE
+    if type(sim) is not Simulator:
+        raise ValueError(
+            f"profiler needs a plain Simulator (got {type(sim).__name__}); "
+            f"it is mutually exclusive with the sanitizer's class swap")
+    if ACTIVE is not None and ACTIVE is not profiler:
+        raise ValueError("another profiler is already active in this process")
+    sim._prof = profiler
+    sim.__class__ = _ProfiledSimulator
+    ACTIVE = profiler
+    return profiler
+
+
+def install(sim: Simulator, profiler: Optional[Profiler] = None) -> Profiler:
+    """Attach a (new, by default) profiler to ``sim``; returns it."""
+    return _install(sim, profiler if profiler is not None else Profiler())
+
+
+def detach(sim: Simulator) -> Optional[Profiler]:
+    """Undo :func:`install`: restore the base class, clear ACTIVE."""
+    global ACTIVE
+    if isinstance(sim, _ProfiledSimulator):
+        sim.__class__ = Simulator
+        prof, sim._prof = sim._prof, None
+        if ACTIVE is prof:
+            ACTIVE = None
+        return prof
+    return None

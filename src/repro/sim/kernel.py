@@ -494,9 +494,10 @@ class Simulator:
     __slots__ = ("_now", "_queue", "_counter", "_running", "_cutoff",
                  "_wheel_slots", "_wheel_order", "_wheel_next", "_wheel_count",
                  "_far", "_far_min", "_live", "_dead", "_pool", "ctx",
-                 "tracer", "_san")
+                 "tracer", "_san", "recorder", "_prof")
 
-    def __init__(self, timer_wheel: bool = True, sanitizer: Any = None):
+    def __init__(self, timer_wheel: bool = True, sanitizer: Any = None,
+                 profiler: Any = None):
         self._now = 0.0
         self._queue: List = []
         self._counter = itertools.count()
@@ -540,9 +541,23 @@ class Simulator:
         # the disabled cost is zero by construction, like the tracer-off
         # fast path.
         self._san: Any = None
+        # The installed ``obs.flightrec.FlightRecorder`` (or None).
+        # Components read this at log sites; None keeps the disabled cost
+        # at one attribute load.
+        self.recorder: Any = None
+        # The attached ``obs.profiler.Profiler`` (or None).  Like the
+        # sanitizer, enabling it swaps this instance's class to the
+        # instrumented subclass, so the base hot loop carries no per-event
+        # profiling check when disabled.
+        self._prof: Any = None
         if sanitizer is not None:
             from .sansim import _install  # deferred: sansim imports kernel
             _install(self, sanitizer)
+        if profiler is not None:
+            # Deferred import for the same layering reason; mutually
+            # exclusive with the sanitizer (both claim the class slot).
+            from ..obs.profiler import _install as _install_prof
+            _install_prof(self, profiler)
 
     @property
     def now(self) -> float:

@@ -10,7 +10,20 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class Exemplar(NamedTuple):
+    """One trace-linked sample: the bridge from a metric to its trace.
+
+    Prometheus-style exemplars: a recorded value that also carries the
+    trace id of the procedure that produced it, so an operator can jump
+    from "attach p99 is 1.4s" to the exact trace that was that slow.
+    """
+
+    time: float
+    value: float
+    trace_id: int
 
 
 class Series:
@@ -33,11 +46,14 @@ class Series:
 
     __slots__ = ("name", "times", "values", "max_samples", "_stride",
                  "_phase", "_count", "_sum", "_min", "_max", "_last_t",
-                 "_last_v")
+                 "_last_v", "exemplars", "max_exemplars")
 
-    def __init__(self, name: str, max_samples: Optional[int] = None):
+    def __init__(self, name: str, max_samples: Optional[int] = None,
+                 max_exemplars: int = 64):
         if max_samples is not None and max_samples < 2:
             raise ValueError("max_samples must be >= 2 (or None for exact)")
+        if max_exemplars < 2:
+            raise ValueError("max_exemplars must be >= 2")
         self.name = name
         self.times: List[float] = []
         self.values: List[float] = []
@@ -50,14 +66,25 @@ class Series:
         self._max = -math.inf
         self._last_t = 0.0
         self._last_v = 0.0
+        # Trace-linked samples live in their own bounded buffer with its
+        # own decimation: a bounded series halving its value buffer must
+        # never be able to shed *every* exemplar from a window.
+        self.exemplars: List[Exemplar] = []
+        self.max_exemplars = max_exemplars
 
-    def record(self, t: float, value: float) -> None:
+    def record(self, t: float, value: float,
+               trace_id: Optional[int] = None) -> None:
         """Append a sample at time ``t``.
 
         Times must be non-decreasing; *equal* timestamps are explicitly
         allowed (several events in the same simulation tick record at the
         same ``sim.now``) and preserve insertion order.  Only a strictly
         backwards ``t`` raises.
+
+        When ``trace_id`` is given the sample is also retained as an
+        :class:`Exemplar` in a separate bounded buffer, so the metric can
+        be resolved back to the trace that produced it even after the
+        value buffer decimates.
         """
         if self._count and t < self._last_t:
             raise ValueError(f"series {self.name!r}: time went backwards ({t} < {self._last_t})")
@@ -69,6 +96,12 @@ class Series:
             self._max = value
         self._last_t = t
         self._last_v = value
+        if trace_id is not None:
+            self.exemplars.append(Exemplar(t, value, trace_id))
+            if len(self.exemplars) >= self.max_exemplars:
+                # Same stride trick as the value buffer, but independent:
+                # keeps index-uniform coverage and always retains >= N/2.
+                del self.exemplars[1::2]
         if self.max_samples is None:
             self.times.append(t)
             self.values.append(value)
@@ -86,6 +119,24 @@ class Series:
         self._phase += 1
         if self._phase >= self._stride:
             self._phase = 0
+
+    def recent_samples(self, t0: float) -> List[Tuple[float, float, Optional[int]]]:
+        """Retained ``(time, value, trace_id)`` rows with ``time > t0``.
+
+        The window is *exclusive* at ``t0`` so callers shipping deltas
+        (e.g. magmad's metric back-fill) can pass the previous batch's
+        high-water mark without duplicating the boundary sample.  Trace
+        ids are joined back from the exemplar buffer by exact
+        ``(time, value)`` match; samples without one yield ``None``.
+        """
+        lo = bisect.bisect_right(self.times, t0)
+        linked = {(e.time, e.value): e.trace_id for e in self.exemplars}
+        return [(t, v, linked.get((t, v)))
+                for t, v in zip(self.times[lo:], self.values[lo:])]
+
+    def exemplars_between(self, t0: float, t1: float) -> List[Exemplar]:
+        """Exemplars with ``t0 <= time < t1`` (retained ones only)."""
+        return [e for e in self.exemplars if t0 <= e.time < t1]
 
     @property
     def count(self) -> int:
@@ -259,8 +310,9 @@ class Monitor:
                 f"{s.max_samples}, asked for {max_samples}")
         return s
 
-    def record(self, name: str, t: float, value: float) -> None:
-        self.series(name).record(t, value)
+    def record(self, name: str, t: float, value: float,
+               trace_id: Optional[int] = None) -> None:
+        self.series(name).record(t, value, trace_id=trace_id)
 
     def percentile(self, name: str, q: float) -> float:
         """Percentile over a named series' values (raises if empty)."""

@@ -222,6 +222,13 @@ class SimSan:
                                  "message": message}
         entry.update(extra)
         self.reports.append(entry)
+        # Flight recorder auto-snapshot: every sanitizer report ships its
+        # last-N-events context (attribute read, no flightrec import).
+        rec = self._sim.recorder if self._sim is not None else None
+        if rec is not None:
+            fields = {k: v for k, v in entry.items() if k != "stack"}
+            rec.node("simsan").error("simsan", code, **fields)
+            rec.snapshot(f"simsan:{code}")
 
     # -- timer ownership ---------------------------------------------------
 
@@ -236,6 +243,16 @@ class SimSan:
             stack = "".join(traceback.format_list(frames[-6:]))
         self._timers[entry.seq] = _TimerRecord(self.current, stack,
                                                entry.when, site)
+        # With a flight recorder installed, every tracked schedule leaves a
+        # breadcrumb carrying the resolved scheduling site; the record picks
+        # up the ambient span context, so an orphan-timer report's snapshot
+        # ends with the trace-correlated site that armed the timer.
+        rec = self._sim.recorder if self._sim is not None else None
+        if rec is not None:
+            owner = self.current
+            rec.node(owner.name if owner is not None else "kernel").debug(
+                "kernel", "timer.scheduled",
+                site=f"{site[0]}:{site[1]}", when=entry.when)
 
     def _forget(self, seq: int) -> None:
         self._timers.pop(seq, None)

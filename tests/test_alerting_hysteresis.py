@@ -1,0 +1,202 @@
+"""Alerting: for_duration hysteresis, empty-series holds, back-fill safety.
+
+Satellite coverage from the observability issue: a noisy single sample
+must not flap an alert, a retention-pruned series must not raise or
+silently resolve, and late back-filled samples (older capture times
+arriving after an alert fired) must not flip state onto stale data.
+"""
+
+import pytest
+
+from repro.core.orchestrator.alerting import (
+    AlertManager,
+    AlertRule,
+    metric_threshold_rule,
+)
+from repro.core.orchestrator.metricsd import Metricsd
+
+
+def cpu_rule(metricsd, for_duration=0.0):
+    return metric_threshold_rule(
+        metricsd, name="cpu-high", metric="cpu_util", threshold=0.9,
+        for_duration=for_duration)
+
+
+# -- for_duration hysteresis -------------------------------------------------------
+
+
+def test_single_noisy_sample_does_not_fire_with_for_duration():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd, for_duration=30.0)
+    metricsd.ingest("cpu_util", 0.95, 10.0, {"gateway_id": "a"})
+    assert rule.evaluate() == []  # crossing, but not sustained yet
+
+
+def test_sustained_crossing_fires_and_single_recovery_resolves():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd, for_duration=30.0)
+    labels = {"gateway_id": "a"}
+    for t in (10.0, 25.0, 41.0):
+        metricsd.ingest("cpu_util", 0.95, t, labels)
+    assert rule.evaluate() == ["a"]  # 31s of unbroken crossing
+    # Once firing it stays firing without re-proving the duration...
+    metricsd.ingest("cpu_util", 0.95, 42.0, labels)
+    assert rule.evaluate() == ["a"]
+    # ...until one sample lands back on the safe side.
+    metricsd.ingest("cpu_util", 0.2, 50.0, labels)
+    assert rule.evaluate() == []
+
+
+def test_broken_run_restarts_the_duration_clock():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd, for_duration=30.0)
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 0.0, labels)
+    metricsd.ingest("cpu_util", 0.5, 20.0, labels)   # dip breaks the run
+    metricsd.ingest("cpu_util", 0.95, 25.0, labels)
+    metricsd.ingest("cpu_util", 0.95, 40.0, labels)
+    assert rule.evaluate() == []  # only 15s held since the dip
+    metricsd.ingest("cpu_util", 0.95, 56.0, labels)
+    assert rule.evaluate() == ["a"]
+
+
+def test_zero_for_duration_fires_immediately_per_label():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd)
+    metricsd.ingest("cpu_util", 0.95, 1.0, {"gateway_id": "a"})
+    metricsd.ingest("cpu_util", 0.5, 1.0, {"gateway_id": "b"})
+    assert rule.evaluate() == ["a"]
+
+
+def test_below_threshold_rule_direction():
+    metricsd = Metricsd()
+    rule = metric_threshold_rule(
+        metricsd, name="attach-low", metric="attach_rate", threshold=0.5,
+        above=False)
+    metricsd.ingest("attach_rate", 0.2, 1.0, {"gateway_id": "a"})
+    assert rule.evaluate() == ["a"]
+    assert "attach_rate < 0.5" in rule.message
+
+
+# -- empty / pruned series ---------------------------------------------------------
+
+
+def test_retention_pruned_series_holds_state_not_resolves():
+    metricsd = Metricsd(retention=50.0)
+    rule = cpu_rule(metricsd)
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 10.0, labels)
+    assert rule.evaluate() == ["a"]
+    # A sample on an unrelated metric advances the retention clock far
+    # enough to prune the cpu series empty — but keep it *known*.
+    metricsd.ingest("heartbeat", 1.0, 200.0, labels)
+    metricsd.ingest("cpu_util", 0.95, 200.0, labels)
+    metricsd._evict(("cpu_util", (("gateway_id", "a"),)),
+                    metricsd._series[("cpu_util", (("gateway_id", "a"),))],
+                    300.0)
+    assert metricsd.latest("cpu_util", labels) is None
+    assert metricsd.label_sets("cpu_util") == [labels]
+    # No data is not evidence of recovery: the subject keeps firing, and
+    # evaluation does not raise.
+    assert rule.evaluate() == ["a"]
+
+
+def test_vanished_label_set_does_resolve():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd)
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 10.0, labels)
+    assert rule.evaluate() == ["a"]
+    del metricsd._series[("cpu_util", (("gateway_id", "a"),))]
+    assert rule.evaluate() == []
+
+
+# -- late back-fill ----------------------------------------------------------------
+
+
+def test_late_backfill_does_not_resolve_a_fired_alert():
+    """A recovering gateway back-fills old (safe-looking) samples after
+    the alert fired; 'latest' is by capture time, so the alert holds."""
+    metricsd = Metricsd()
+    manager = AlertManager(clock=lambda: 100.0)
+    manager.add_rule(cpu_rule(metricsd))
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 90.0, labels)
+    assert [a.subject for a in manager.evaluate()] == ["a"]
+    # Back-fill: capture times *before* the crossing, arriving late.
+    for t in (60.0, 70.0, 80.0):
+        metricsd.ingest("cpu_util", 0.3, t, labels)
+    manager.evaluate()
+    assert [a.subject for a in manager.active_alerts()] == ["a"]
+    assert metricsd.latest("cpu_util", labels).value == pytest.approx(0.95)
+    # A genuinely newer recovery sample resolves it.
+    metricsd.ingest("cpu_util", 0.3, 95.0, labels)
+    manager.evaluate()
+    assert manager.active_alerts() == []
+
+
+def test_late_backfill_does_not_satisfy_for_duration_retroactively():
+    metricsd = Metricsd()
+    rule = cpu_rule(metricsd, for_duration=30.0)
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 100.0, labels)
+    assert rule.evaluate() == []
+    # Back-filled crossings extend the unbroken run backwards in capture
+    # time — that is real history, so the sustained check may now pass.
+    metricsd.ingest("cpu_util", 0.95, 65.0, labels)
+    assert rule.evaluate() == ["a"]
+
+
+# -- manager dedup / isolation -----------------------------------------------------
+
+
+def test_manager_dedups_until_resolution_and_keeps_history():
+    metricsd = Metricsd()
+    times = iter((1.0, 2.0, 3.0, 4.0))
+    manager = AlertManager(clock=lambda: next(times))
+    manager.add_rule(cpu_rule(metricsd))
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 0.5, labels)
+    assert len(manager.evaluate()) == 1
+    assert manager.evaluate() == []  # still firing: deduplicated
+    metricsd.ingest("cpu_util", 0.2, 2.5, labels)
+    manager.evaluate()               # resolves
+    metricsd.ingest("cpu_util", 0.95, 3.5, labels)
+    assert len(manager.evaluate()) == 1  # re-raise after resolve
+    assert len(manager.history()) == 2
+
+
+def test_rule_error_is_isolated_and_keeps_its_alerts_firing():
+    metricsd = Metricsd()
+    manager = AlertManager()
+    healthy = 0.0
+
+    def flaky():
+        raise RuntimeError("boom")
+
+    manager.add_rule(cpu_rule(metricsd))
+    manager.add_rule(AlertRule(name="flaky", evaluate=flaky))
+    labels = {"gateway_id": "a"}
+    metricsd.ingest("cpu_util", 0.95, 1.0, labels)
+    raised = manager.evaluate()
+    assert [a.rule_name for a in raised] == ["cpu-high"]
+    assert manager.stats["rule_errors"] == 1
+    assert healthy == 0.0
+    # Swap in a rule that fires, then make it error: its alert must hold.
+    fired = {"on": True}
+    manager._rules["flaky"] = AlertRule(
+        name="flaky",
+        evaluate=lambda: ["x"] if fired["on"] else flaky())
+    manager.evaluate()
+    assert ("flaky", "x") in manager._active
+    fired["on"] = False
+    manager.evaluate()
+    assert ("flaky", "x") in manager._active  # error held it firing
+    assert manager.stats["rule_errors"] == 2
+
+
+def test_duplicate_rule_name_rejected():
+    manager = AlertManager()
+    manager.add_rule(AlertRule(name="r", evaluate=list))
+    with pytest.raises(ValueError):
+        manager.add_rule(AlertRule(name="r", evaluate=list))
